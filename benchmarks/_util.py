@@ -1,0 +1,22 @@
+"""Shared plumbing for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper's §4. The
+measured rows/series are printed *and* written to ``benchmarks/results/``
+so the reproduction record survives pytest's output capture; EXPERIMENTS.md
+is assembled from those files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

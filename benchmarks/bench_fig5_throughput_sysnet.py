@@ -1,0 +1,45 @@
+"""Figure 5 — service throughput on Sysnet, 1-16 clients.
+
+Paper shape: original highest; read throughput at least 13% above write;
+all three still rising at 16 clients. (Absolute values depend on testbed
+constants; the shape is the reproduction target.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import series_comparison
+from repro.cluster.scenarios import throughput_scenario
+
+CLIENTS = (1, 2, 4, 8, 16)
+KINDS = ("read", "write", "original")
+TOTAL_REQUESTS = 1000  # §4: "each client sends exactly 1000/c requests"
+
+
+def compute():
+    series = {kind: [] for kind in KINDS}
+    for c in CLIENTS:
+        for kind in KINDS:
+            result = throughput_scenario(
+                "sysnet", kind, c, total_requests=TOTAL_REQUESTS, seed=3
+            )
+            series[kind].append(result.throughput)
+    text = series_comparison(
+        "Fig. 5 — throughput on Sysnet (req/s); paper: original > read >= 1.13*write",
+        "clients",
+        CLIENTS,
+        series,
+    )
+    return text, series
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_throughput_sysnet(once):
+    text, series = once(compute)
+    emit("fig5_throughput_sysnet", text)
+    for i, _c in enumerate(CLIENTS):
+        assert series["original"][i] > series["read"][i] > series["write"][i]
+    # "the throughput of reads was at least 13% higher than that of writes"
+    assert all(r >= 1.13 * w for r, w in zip(series["read"], series["write"]))

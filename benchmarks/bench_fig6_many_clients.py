@@ -1,0 +1,45 @@
+"""Figure 6 — throughput with 8-128 clients (log scale in the paper).
+
+Paper shape: "The basic protocol and X-Paxos achieve the highest throughput
+when the number of clients was between 32 and 64" — i.e. both peak in the
+middle of the range and decline at 128, while the original service keeps
+scaling longer. The decline comes from per-connection scanning overhead at
+the leader (modeled as CPU cost growing with the client count).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import series_comparison
+from repro.cluster.scenarios import throughput_scenario
+
+CLIENTS = (8, 16, 32, 64, 128)
+KINDS = ("read", "write", "original")
+
+
+def compute():
+    series = {kind: [] for kind in KINDS}
+    for c in CLIENTS:
+        for kind in KINDS:
+            result = throughput_scenario("sysnet", kind, c, total_requests=1000, seed=3)
+            series[kind].append(result.throughput)
+    text = series_comparison(
+        "Fig. 6 — throughput, 8-128 clients; paper: read/write peak at 32-64",
+        "clients",
+        CLIENTS,
+        series,
+    )
+    return text, series
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_many_clients(once):
+    text, series = once(compute)
+    emit("fig6_many_clients", text)
+    for kind in ("read", "write"):
+        curve = dict(zip(CLIENTS, series[kind]))
+        peak_clients = max(curve, key=curve.get)
+        assert 16 <= peak_clients <= 64, f"{kind} peaked at {peak_clients}"
+        assert curve[128] < max(curve.values())

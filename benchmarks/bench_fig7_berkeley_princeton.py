@@ -1,0 +1,57 @@
+"""Figure 7 + §4.1 — Berkeley clients, co-located Princeton replicas.
+
+Paper: original 91.85 ms, read 92.79 ms, write 93.13 ms; throughput curves
+for the three request kinds nearly coincide — "the basic protocol achieves
+performance roughly the same as a non-replicated service and the X-Paxos
+optimization does not improve RRT and throughput much" because m << M.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import comparison_table, series_comparison
+from repro.cluster.scenarios import rrt_scenario, throughput_scenario
+from repro.net.profiles import berkeley_princeton
+
+PAPER = berkeley_princeton().paper_rrt
+CLIENTS = (1, 2, 4, 8, 16)
+KINDS = ("read", "write", "original")
+
+
+def compute():
+    rows = []
+    rrts = {}
+    for kind in KINDS:
+        result = rrt_scenario("berkeley_princeton", kind, samples=80, seed=1)
+        rrts[kind] = result.rrt.mean
+        rows.append((kind, PAPER[kind], result.rrt.mean))
+    series = {kind: [] for kind in KINDS}
+    for c in CLIENTS:
+        for kind in KINDS:
+            result = throughput_scenario(
+                "berkeley_princeton", kind, c, total_requests=480, seed=3
+            )
+            series[kind].append(result.throughput)
+    text = comparison_table("RRT Berkeley->Princeton (paper §4.1)", rows)
+    text += "\n\n" + series_comparison(
+        "Fig. 7 — throughput Berkeley->Princeton (req/s); paper: curves coincide",
+        "clients",
+        CLIENTS,
+        series,
+        fmt="{:.1f}",
+    )
+    return text, rrts, series
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_berkeley_princeton(once):
+    text, rrts, series = once(compute)
+    emit("fig7_berkeley_princeton", text)
+    for kind in KINDS:
+        assert rrts[kind] == pytest.approx(PAPER[kind], rel=0.03)
+    # Curves coincide: all three kinds within 5% of one another everywhere.
+    for i, _c in enumerate(CLIENTS):
+        values = [series[kind][i] for kind in KINDS]
+        assert max(values) / min(values) < 1.05

@@ -1,0 +1,56 @@
+"""Figure 8 + §4.1 — wide-area deployment (leader UIUC, replicas Utah and
+Texas, clients Berkeley and Oregon).
+
+Paper: original 70.82 ms, read 75.49 ms, write 106.73 ms; "when service
+processes are located on different sites, X-Paxos achieves better
+performance than the basic protocol" — the read curve sits clearly above
+the write curve in throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import comparison_table, series_comparison
+from repro.cluster.scenarios import rrt_scenario, throughput_scenario
+from repro.net.profiles import wan
+
+PAPER = wan().paper_rrt
+CLIENTS = (1, 2, 4, 8, 16)
+KINDS = ("read", "write", "original")
+
+
+def compute():
+    rows = []
+    rrts = {}
+    for kind in KINDS:
+        result = rrt_scenario("wan", kind, samples=80, seed=1)
+        rrts[kind] = result.rrt.mean
+        rows.append((kind, PAPER[kind], result.rrt.mean))
+    series = {kind: [] for kind in KINDS}
+    for c in CLIENTS:
+        for kind in KINDS:
+            result = throughput_scenario("wan", kind, c, total_requests=480, seed=3)
+            series[kind].append(result.throughput)
+    text = comparison_table("RRT on WAN (paper §4.1)", rows)
+    text += "\n\n" + series_comparison(
+        "Fig. 8 — throughput on WAN (req/s); paper: read (X-Paxos) beats write",
+        "clients",
+        CLIENTS,
+        series,
+        fmt="{:.1f}",
+    )
+    return text, rrts, series
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_wan(once):
+    text, rrts, series = once(compute)
+    emit("fig8_wan", text)
+    for kind in KINDS:
+        assert rrts[kind] == pytest.approx(PAPER[kind], rel=0.03)
+    # X-Paxos clearly beats the basic protocol on the WAN.
+    for i, _c in enumerate(CLIENTS):
+        assert series["read"][i] > 1.2 * series["write"][i]
+        assert series["original"][i] >= series["read"][i]

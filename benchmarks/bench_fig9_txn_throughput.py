@@ -1,0 +1,60 @@
+"""Figure 9 — transaction throughput on Sysnet, 3- and 5-request
+transactions, 1-16 clients.
+
+Paper: T-Paxos increases throughput by 42-57% over read/write transactions
+and 52-97% over write-only (3-req); 53-90% and 69-138% (5-req) — the
+advantage grows with the client count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import series_comparison
+from repro.cluster.scenarios import txn_throughput_scenario
+from repro.util.tables import format_table
+
+CLIENTS = (1, 2, 4, 8, 16)
+MODES = ("read_write", "write_only", "optimized")
+TOTAL_TXNS = 400
+
+
+def compute(k: int):
+    series = {mode: [] for mode in MODES}
+    for c in CLIENTS:
+        for mode in MODES:
+            result = txn_throughput_scenario(mode, k, c, total_txns=TOTAL_TXNS, seed=5)
+            series[mode].append(result.step_throughput)
+    text = series_comparison(
+        f"Fig. 9{'a' if k == 3 else 'b'} — {k}-request transaction throughput (txn/s)",
+        "clients",
+        CLIENTS,
+        series,
+    )
+    gain_rows = []
+    for i, c in enumerate(CLIENTS):
+        opt = series["optimized"][i]
+        gain_rows.append(
+            [
+                c,
+                f"+{(opt / series['read_write'][i] - 1) * 100:.0f}%",
+                f"+{(opt / series['write_only'][i] - 1) * 100:.0f}%",
+            ]
+        )
+    text += "\n\nT-Paxos gain (paper 3-req: +42..57% / +52..97%; 5-req: +53..90% / +69..138%)\n"
+    text += format_table(["clients", "vs read_write", "vs write_only"], gain_rows)
+    return text, series
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("k", [3, 5])
+def test_fig9_txn_throughput(once, k):
+    text, series = once(compute, k)
+    emit(f"fig9_txn_throughput_{k}req", text)
+    for i, _c in enumerate(CLIENTS):
+        assert series["optimized"][i] > series["read_write"][i] > series["write_only"][i]
+    # The improvement grows with the client count (paper's trend).
+    first_gain = series["optimized"][0] / series["write_only"][0]
+    last_gain = series["optimized"][-1] / series["write_only"][-1]
+    assert last_gain > first_gain

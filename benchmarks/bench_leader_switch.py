@@ -1,0 +1,94 @@
+"""§3.6 ablation — sensitivity to leader switches.
+
+The paper: "'Long enough' is longer for X-Paxos than for Paxos ... and even
+longer for T-Paxos; if the leader switches during the transaction ... the
+transaction has to be aborted. Thus, X-Paxos and T-Paxos are more
+sensitive to leader switching than Paxos."
+
+We force periodic instant leader switches (manual elector) and measure the
+completion-time inflation of each workload relative to its switch-free
+run, plus the transaction abort count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.client.workload import paper_txn_steps, single_kind_steps
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.cluster.metrics import collect
+from repro.types import RequestKind
+from repro.util.tables import format_table
+from tests.conftest import make_test_profile
+
+SWITCH_PERIOD = 0.05   # a switch every 50 ms
+CLIENT_TIMEOUT = 0.02
+RUN_STEPS = 120
+
+
+def run(workload: str, switches: bool):
+    profile = make_test_profile(latency=1e-3)
+    if workload == "write":
+        steps = single_kind_steps(RequestKind.WRITE, RUN_STEPS)
+    elif workload == "read":
+        steps = single_kind_steps(RequestKind.READ, RUN_STEPS)
+    else:
+        steps = paper_txn_steps("optimized", 3, RUN_STEPS // 4)
+    spec = ClusterSpec(
+        profile=profile,
+        seed=7,
+        elector="manual",
+        client_timeout=CLIENT_TIMEOUT,
+        retry_aborted=True,
+    )
+    cluster = Cluster(spec, [steps])
+    if switches:
+        schedule = FaultSchedule(cluster)
+        order = ["r1", "r2", "r0"]
+        for i in range(12):
+            schedule.switch_leader(order[i % 3], at=SWITCH_PERIOD * (i + 1))
+    cluster.run(max_time=120.0)
+    result = collect(cluster)
+    aborts = sum(1 for c in cluster.clients for s in c.records if s.aborted)
+    return result.duration, aborts
+
+
+def compute():
+    rows = []
+    inflation = {}
+    aborts = {}
+    for workload in ("write", "read", "txn"):
+        base, _ = run(workload, switches=False)
+        switched, aborted = run(workload, switches=True)
+        inflation[workload] = switched / base
+        aborts[workload] = aborted
+        rows.append(
+            [workload, f"{base * 1e3:.1f}", f"{switched * 1e3:.1f}",
+             f"{switched / base:.2f}x", aborted]
+        )
+    text = (
+        "§3.6 — completion time under forced leader switches (every 50 ms)\n"
+        "expected: X-Paxos and T-Paxos more sensitive than the basic protocol;\n"
+        "transactions additionally abort\n"
+        + format_table(
+            ["workload", "stable (ms)", "switching (ms)", "inflation", "txn aborts"],
+            rows,
+        )
+    )
+    return text, inflation, aborts
+
+
+@pytest.mark.benchmark(group="leader_switch")
+def test_leader_switch_sensitivity(once):
+    text, inflation, aborts = once(compute)
+    emit("leader_switch", text)
+    # §3.6 ordering: X-Paxos reads and T-Paxos transactions suffer more
+    # from switches than basic-protocol writes (queued writes survive a
+    # recovery; pending reads and open transactions do not).
+    assert inflation["read"] > inflation["write"] + 0.1
+    assert inflation["txn"] > inflation["write"] + 0.1
+    # And only transactions abort (T-Paxos's extra sensitivity).
+    assert aborts["txn"] > 0
+    assert aborts["write"] == 0 and aborts["read"] == 0

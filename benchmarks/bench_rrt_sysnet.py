@@ -1,0 +1,46 @@
+"""§4.1 text numbers — request response time on the Sysnet cluster.
+
+Paper: original 0.181 ms (±0.002), read 0.263 ms (±0.02), write 0.338 ms
+(±0.003); X-Paxos reduces the RRT 22% relative to the basic protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import comparison_table, percent_change
+from repro.cluster.scenarios import rrt_scenario
+from repro.net.profiles import sysnet
+
+PAPER = sysnet().paper_rrt
+SAMPLES = 400
+
+
+def compute():
+    rows = []
+    measured = {}
+    for kind in ("original", "read", "write"):
+        result = rrt_scenario("sysnet", kind, samples=SAMPLES, seed=1)
+        measured[kind] = result.rrt
+        rows.append((kind, PAPER[kind], result.rrt.mean))
+    reduction = percent_change(measured["write"].mean, measured["read"].mean)
+    text = comparison_table("RRT on Sysnet (paper §4.1)", rows)
+    text += (
+        f"\nX-Paxos read vs basic write: {reduction:+.1f}% "
+        f"(paper: -22%)\n"
+        + "\n".join(
+            f"{kind}: ±{summary.ci99 * 1e3:.4f} ms (99% CI, n={summary.n})"
+            for kind, summary in measured.items()
+        )
+    )
+    return text, measured
+
+
+@pytest.mark.benchmark(group="rrt")
+def test_rrt_sysnet(once):
+    text, measured = once(compute)
+    emit("rrt_sysnet", text)
+    # Reproduction guardrails: within 5% of the paper's means.
+    for kind in PAPER:
+        assert measured[kind].mean == pytest.approx(PAPER[kind], rel=0.05)

@@ -1,0 +1,93 @@
+"""§5 comparator — semi-passive replication vs the paper's protocol.
+
+The paper notes that semi-passive replication (Défago et al. [7]) shares
+the <command, state-update> consensus idea "but its practical
+implementation and performance remains uninvestigated". This bench
+investigates it:
+
+* runs the semi-passive group driver (Chandra-Toueg ♦S per request, lazy
+  execution) and counts per-request coordination delays and messages;
+* compares against the basic protocol's measured message count and the
+  §3.4 analytic latency on each deployment profile.
+
+Expected outcome: with a *stable leader*, the paper's protocol needs 2
+replica-to-replica delays per write; semi-passive pays 4 every time (the
+estimate round cannot be elided because no agreed primary exists). On the
+WAN profile that's the difference between ~106 ms and ~177 ms writes —
+the quantitative justification for building on Paxos with leader election
+rather than ♦S consensus per request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.core.semipassive import SemiPassiveGroup
+from repro.net.profiles import (
+    BP_CLIENT_SERVER,
+    BP_SERVER_SERVER,
+    SYSNET_CLIENT_SERVER,
+    SYSNET_SERVER_SERVER,
+    WAN_LATENCY,
+)
+from repro.services.counter import CounterService
+from repro.util.tables import format_table
+
+PROFILE_LATENCIES = {
+    "sysnet": (SYSNET_CLIENT_SERVER, SYSNET_SERVER_SERVER),
+    "berkeley_princeton": (BP_CLIENT_SERVER, BP_SERVER_SERVER),
+    "wan": (WAN_LATENCY[("berkeley", "uiuc")], WAN_LATENCY[("uiuc", "texas")]),
+}
+N_REQUESTS = 200
+
+
+def compute():
+    group = SemiPassiveGroup(("p0", "p1", "p2"), CounterService, seed=1)
+    for _ in range(N_REQUESTS):
+        group.submit(("add", 1))
+    sp_delays = sum(group.stats.delays_per_request) / N_REQUESTS
+    sp_messages = group.stats.messages / N_REQUESTS
+
+    rows = []
+    projections = {}
+    for name, (m_client, m_replica) in PROFILE_LATENCIES.items():
+        basic = 2 * m_client + 2 * m_replica
+        semi = 2 * m_client + sp_delays * m_replica
+        projections[name] = (basic, semi)
+        rows.append(
+            [
+                name,
+                f"{basic * 1e3:.3f}",
+                f"{semi * 1e3:.3f}",
+                f"+{(semi / basic - 1) * 100:.0f}%",
+            ]
+        )
+    text = (
+        "§5 — semi-passive replication vs the basic protocol\n"
+        f"semi-passive measured: {sp_delays:.1f} replica delays and "
+        f"{sp_messages:.1f} messages per request (failure-free);\n"
+        "basic protocol: 2 replica delays (stable leader, AcceptBatch round).\n\n"
+        "Projected write RRT (analytic, per §3.4 with each profile's M, m):\n"
+        + format_table(
+            ["deployment", "basic (ms)", "semi-passive (ms)", "overhead"], rows
+        )
+        + "\n\nFailover trade: semi-passive needs no leader election (the next"
+        "\ncoordinator takes over within the same instance); the basic protocol"
+        "\npays a prepare round only at leader changes. The paper's bet — a"
+        "\nstable leader is the common case — wins everywhere the replica"
+        "\nnetwork is not free."
+    )
+    return text, sp_delays, projections
+
+
+@pytest.mark.benchmark(group="semipassive")
+def test_semipassive_comparison(once):
+    text, sp_delays, projections = once(compute)
+    emit("semipassive", text)
+    assert sp_delays == pytest.approx(4.0)
+    for name, (basic, semi) in projections.items():
+        assert semi > basic
+    # On the WAN the gap is dramatic (2 extra 17.85 ms legs).
+    wan_basic, wan_semi = projections["wan"]
+    assert wan_semi - wan_basic > 0.03

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrate itself (real pytest-benchmark use:
+these measure host wall-clock performance, not simulated time).
+
+They guard against performance regressions in the hot paths every
+experiment exercises: the event heap, the CPU model, the lock manager and
+the end-to-end simulated request loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.scenarios import throughput_scenario
+from repro.core.locks import LockManager
+from repro.sim.cpu import CpuModel, CpuProfile
+from repro.sim.kernel import Kernel
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_kernel_event_throughput(benchmark):
+    def run():
+        kernel = Kernel()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                kernel.schedule(1e-6, tick)
+
+        kernel.schedule(0.0, tick)
+        kernel.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_kernel_heap_with_cancellations(benchmark):
+    def run():
+        kernel = Kernel()
+        handles = [kernel.schedule(i * 1e-6, lambda: None) for i in range(10_000)]
+        for handle in handles[::2]:
+            handle.cancel()
+        return kernel.run()
+
+    assert benchmark(run) == 5_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_cpu_model_acquire(benchmark):
+    cpu = CpuModel(CpuProfile(recv_cost=1e-6))
+
+    def run():
+        now = 0.0
+        for _ in range(10_000):
+            now = cpu.recv_completion(now)
+        return now
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_lock_manager_churn(benchmark):
+    def run():
+        lm = LockManager()
+        for i in range(2_000):
+            owner = f"t{i % 7}"
+            lm.try_acquire(owner, frozenset({i % 13}), frozenset({(i + 1) % 13}))
+            if i % 3 == 0:
+                lm.release_all(owner)
+        for i in range(7):
+            lm.release_all(f"t{i}")
+        return lm.owners()
+
+    assert benchmark(run) == frozenset()
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_end_to_end_simulated_write_rate(benchmark):
+    """Host cost of simulating 1000 replicated writes (the workhorse of the
+    whole benchmark suite)."""
+
+    def run():
+        return throughput_scenario("sysnet", "write", 4, total_requests=1000, seed=3)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total_requests == 1000

@@ -1,0 +1,58 @@
+"""Table 1 — transaction response time on Sysnet.
+
+Paper (ms): read/write 3-req 1.17, 5-req 1.79; write-only 3-req 1.29,
+5-req 2.01; optimized (T-Paxos) 3-req 0.85, 5-req 1.23. T-Paxos reduces
+TRT by 28%/34% (3-req) and 31%/39% (5-req).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import comparison_table
+from repro.cluster.scenarios import txn_rrt_scenario
+from repro.util.tables import format_table
+
+PAPER_MS = {
+    ("read_write", 3): 1.17,
+    ("read_write", 5): 1.79,
+    ("write_only", 3): 1.29,
+    ("write_only", 5): 2.01,
+    ("optimized", 3): 0.85,
+    ("optimized", 5): 1.23,
+}
+SAMPLES = 200
+
+
+def compute():
+    measured = {}
+    rows = []
+    for (mode, k), paper_ms in PAPER_MS.items():
+        result = txn_rrt_scenario(mode, k, samples=SAMPLES, seed=2)
+        measured[(mode, k)] = result.trt
+        rows.append((f"{mode} {k}-req", paper_ms * 1e-3, result.trt.mean))
+    text = comparison_table("Table 1 — transaction response time", rows)
+
+    reduction_rows = []
+    for k in (3, 5):
+        for base in ("read_write", "write_only"):
+            baseline = measured[(base, k)].mean
+            optimized = measured[("optimized", k)].mean
+            reduction_rows.append(
+                [f"vs {base} {k}-req", f"{(baseline - optimized) / baseline * 100:.0f}%"]
+            )
+    text += "\n\nT-Paxos TRT reduction (paper: 28%/34% at 3-req, 31%/39% at 5-req)\n"
+    text += format_table(["baseline", "reduction"], reduction_rows)
+    text += "\n\n99% CIs: " + ", ".join(
+        f"{mode}-{k}: ±{s.ci99 * 1e3:.3f} ms" for (mode, k), s in measured.items()
+    )
+    return text, measured
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_trt(once):
+    text, measured = once(compute)
+    emit("table1_trt", text)
+    for key, paper_ms in PAPER_MS.items():
+        assert measured[key].mean * 1e3 == pytest.approx(paper_ms, rel=0.08)

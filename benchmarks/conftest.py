@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs the deterministic simulator, so a single round is
+meaningful (re-running yields the identical virtual-time result; the
+wall-clock number pytest-benchmark reports measures the simulator itself).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched function exactly once and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

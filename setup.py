@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Exists so ``pip install -e .`` works on environments whose setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available
+offline). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

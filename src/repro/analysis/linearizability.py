@@ -1,0 +1,110 @@
+"""A linearizability checker for single-register histories.
+
+Used to validate the X-Paxos consistency claim (§3.4: a read "must reflect
+the latest update") end to end: concurrent clients' reads and writes of one
+register are collected with their invocation/response times, and the
+checker searches for a legal linearization (Wing & Gong style DFS with
+memoization). Histories from the closed-loop harness are small (hundreds
+of ops), well within reach of the search.
+
+Semantics checked: an atomic read/write register. A read returns the value
+of the latest write linearized before it (or ``initial`` if none).
+
+Caveat documented in DESIGN.md: with *nondeterministic* writes, a read can
+legally observe a leader's speculative (not yet committed) execution; if
+that leader dies before commit and the retransmitted write re-executes
+with a different outcome, the history is not linearizable. Deterministic
+writes — and all fault-free histories — are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One completed operation on the register."""
+
+    kind: str            # "read" or "write"
+    value: Any           # value written, or value returned by the read
+    invoked: float
+    completed: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"kind must be read/write, got {self.kind!r}")
+        if self.completed < self.invoked:
+            raise ValueError("completed before invoked")
+
+
+def check_register(ops: Sequence[Op], initial: Any = None) -> bool:
+    """True iff ``ops`` is linearizable as an atomic register.
+
+    DFS over linearization prefixes: state = (frozenset of linearized op
+    indices, current register value). An op may be linearized next if every
+    op that *completed before it was invoked* is already linearized
+    (real-time order), and — for reads — the current value matches.
+    """
+    ops = tuple(ops)
+    n = len(ops)
+    if n == 0:
+        return True
+    # Precompute real-time predecessors: ops that must precede op i.
+    predecessors: list[frozenset[int]] = []
+    for i, op in enumerate(ops):
+        predecessors.append(
+            frozenset(
+                j for j, other in enumerate(ops) if other.completed < op.invoked
+            )
+        )
+
+    seen: set[tuple[frozenset, Any]] = set()
+
+    def dfs(done: frozenset, value: Any) -> bool:
+        if len(done) == n:
+            return True
+        key = (done, value)
+        if key in seen:
+            return False
+        seen.add(key)
+        for i, op in enumerate(ops):
+            if i in done or not predecessors[i] <= done:
+                continue
+            if op.kind == "read":
+                if op.value == value and dfs(done | {i}, value):
+                    return True
+            else:
+                if dfs(done | {i}, op.value):
+                    return True
+        return False
+
+    return dfs(frozenset(), initial)
+
+
+def history_from_clients(clients: Iterable, key: Any) -> list[Op]:
+    """Extract a single-register history from harness clients.
+
+    Recognizes KV-store ops ``("put", key, v)`` (write) and ``("get", key)``
+    (read); other requests are ignored. Only completed requests enter the
+    history.
+    """
+    history: list[Op] = []
+    for client in clients:
+        for record in client.request_records():
+            op = record.op
+            if record.completed_at is None or not isinstance(op, tuple):
+                continue
+            if op[0] == "put" and op[1] == key:
+                history.append(
+                    Op("write", op[2], invoked=record.sent_at,
+                       completed=record.completed_at)
+                )
+            elif op[0] == "get" and op[1] == key:
+                history.append(
+                    Op("read", record.value, invoked=record.sent_at,
+                       completed=record.completed_at)
+                )
+    return history

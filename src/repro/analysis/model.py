@@ -1,0 +1,78 @@
+"""The paper's analytic latency model (§3.4), plus its T-Paxos extension.
+
+Notation (all one-way latencies, seconds):
+
+* ``M`` — message latency between a client and a service replica;
+* ``m`` — message latency between two service replicas;
+* ``E`` — execution time of the request at the service.
+
+The paper gives:
+
+* X-Paxos read:       ``RRT = 2M + max(E, m')``  — execution overlaps the
+  confirm wait. Strictly, the confirm detour is client->backup->leader
+  replacing the direct client->leader leg, so ``m'`` here is
+  ``(M_backup + m) - M`` relative to request arrival; with a uniform
+  topology this reduces to the paper's ``m``.
+* basic protocol:     ``RRT = 2M + E + 2m``  — one extra accept round trip.
+* original (baseline): ``RRT = 2M + E``.
+
+For transactions of ``k`` requests plus a commit:
+
+* unoptimized: each op pays its own protocol cost, the commit pays a write:
+  ``TRT = sum(op RRTs) + (2M + 2m)``.
+* T-Paxos: ops are answered immediately (original-cost), the commit pays
+  one write: ``TRT = k*(2M + E) + (2M + 2m)``.
+
+These functions deliberately ignore per-message CPU costs (a few µs); the
+tests check that the simulator agrees with the model to within that slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModelInputs:
+    """The three parameters of the §3.4 model."""
+
+    client_replica: float   # M
+    replica_replica: float  # m
+    execute: float = 0.0    # E
+
+    def __post_init__(self) -> None:
+        if self.client_replica < 0 or self.replica_replica < 0 or self.execute < 0:
+            raise ValueError("latencies must be >= 0")
+
+
+def original_rrt(p: LatencyModelInputs) -> float:
+    """Unreplicated baseline: request + reply + execution."""
+    return 2 * p.client_replica + p.execute
+
+
+def xpaxos_rrt(p: LatencyModelInputs) -> float:
+    """X-Paxos read (§3.4): ``2M + max(E, m)`` — the leader executes while
+    the confirms travel."""
+    return 2 * p.client_replica + max(p.execute, p.replica_replica)
+
+
+def basic_rrt(p: LatencyModelInputs) -> float:
+    """Basic protocol write (§3.4): ``2M + E + 2m`` — the accept phase adds
+    a full replica round trip on the critical path."""
+    return 2 * p.client_replica + p.execute + 2 * p.replica_replica
+
+
+def unoptimized_trt(p: LatencyModelInputs, reads: int, writes: int) -> float:
+    """Transaction served without T-Paxos: each op pays its own protocol
+    cost and the commit is one more basic-protocol round (§4.2)."""
+    ops = reads * xpaxos_rrt(p) + writes * basic_rrt(p)
+    commit = 2 * p.client_replica + 2 * p.replica_replica
+    return ops + commit
+
+
+def tpaxos_trt(p: LatencyModelInputs, k: int) -> float:
+    """T-Paxos transaction of ``k`` ops (§3.5): ops at unreplicated cost,
+    one coordinated commit."""
+    ops = k * original_rrt(p)
+    commit = 2 * p.client_replica + 2 * p.replica_replica
+    return ops + commit

@@ -1,0 +1,118 @@
+"""Closed-loop queueing model of the throughput experiments (Figs. 5-8).
+
+The leader is a single server (its CPU handles every message); ``c``
+closed-loop clients each cycle through [think at the network for Z seconds
+-> get served for S seconds at the leader]. This is the classic machine-
+repairman / interactive closed system, and two standard results bound and
+approximate it:
+
+* **Asymptotic bounds** (operational analysis):
+  ``X(c) <= min(c / (Z + S), 1 / S)`` — the curve rises linearly with the
+  client count until the leader saturates at ``1/S``.
+* **MVA (exact for product-form)**: Mean Value Analysis computes X(c) and
+  the queueing delay exactly for exponential service; for our deterministic
+  service times it is a close approximation, good enough to predict the
+  simulator within a few percent below saturation.
+
+Mapping to the protocol:
+
+* ``Z`` = the request's network round trip without leader queueing
+  (`2M + ...` per the §3.4 model, minus the leader CPU part).
+* ``S`` = the leader's CPU time per request: the per-message costs of
+  every message the leader handles for that request kind (e.g. on Sysnet,
+  original = recv + send = 10 µs; read = recv + 2 confirms + reply = 20 µs).
+
+``tests/unit/test_queueing.py`` checks the math;
+``tests/integration/test_queueing_vs_sim.py`` checks it against the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ClosedSystem:
+    """One interactive closed queueing system.
+
+    * ``think`` — Z: time a client spends away from the bottleneck per
+      cycle (network legs, its own processing), seconds.
+    * ``service`` — S: bottleneck (leader CPU) demand per request, seconds.
+    """
+
+    think: float
+    service: float
+
+    def __post_init__(self) -> None:
+        if self.think < 0 or self.service <= 0:
+            raise ValueError("need think >= 0 and service > 0")
+
+    # ------------------------------------------------------------- bounds
+    def throughput_upper_bound(self, clients: int) -> float:
+        """min(c/(Z+S), 1/S) — the operational-analysis asymptotes."""
+        return min(clients / (self.think + self.service), 1.0 / self.service)
+
+    def saturation_clients(self) -> float:
+        """c* = (Z+S)/S — where the two asymptotes cross."""
+        return (self.think + self.service) / self.service
+
+    # ---------------------------------------------------------------- MVA
+    def mva(self, clients: int) -> tuple[float, float]:
+        """Exact MVA recursion: returns (throughput, mean response time).
+
+        Response time here is the full cycle minus think time — i.e. the
+        time spent at (queueing + being served by) the bottleneck.
+        """
+        if clients < 0:
+            raise ValueError("clients must be >= 0")
+        queue = 0.0  # mean number at the server
+        response = 0.0
+        for n in range(1, clients + 1):
+            response = self.service * (1.0 + queue)
+            throughput = n / (self.think + response)
+            queue = throughput * response
+        if clients == 0:
+            return 0.0, 0.0
+        return clients / (self.think + response), response
+
+    def throughput(self, clients: int) -> float:
+        return self.mva(clients)[0]
+
+    def response_time(self, clients: int) -> float:
+        """Mean request response time seen by a client: think-time legs are
+        part of the RRT in our mapping (they ARE the network), so
+        RRT = Z + time-at-bottleneck."""
+        _throughput, at_server = self.mva(clients)
+        return self.think + at_server
+
+
+def sysnet_model(kind: str) -> ClosedSystem:
+    """The Fig. 5 systems, from the calibrated Sysnet constants.
+
+    Leader CPU demand per request counts the messages the leader handles:
+    original = recv + reply; read = recv + 2 confirms + reply; write =
+    recv + batch send + ~1 ack recv + reply + chosen broadcast, amortized
+    by batching — write demand varies with batch size, so the write model
+    uses the empirical ~4.5 messages/request mid-saturation figure.
+    """
+    from repro.net.profiles import (
+        REPLICA_MSG_COST,
+        SYSNET_CLIENT_SERVER,
+        SYSNET_SERVER_SERVER,
+    )
+
+    message_cost = REPLICA_MSG_COST
+    two_m_client = 2 * SYSNET_CLIENT_SERVER
+    if kind == "original":
+        demand = 2 * message_cost
+        think = two_m_client
+    elif kind == "read":
+        demand = 4 * message_cost
+        think = two_m_client + SYSNET_SERVER_SERVER
+    elif kind == "write":
+        demand = 4.5 * message_cost
+        think = two_m_client + 2 * SYSNET_SERVER_SERVER
+    else:
+        raise ValueError(f"unknown kind {kind!r}")
+    return ClosedSystem(think=think, service=demand)

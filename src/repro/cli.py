@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate the paper's evaluation from scratch.
+
+``python -m repro experiments`` re-runs every table and figure of §4 and
+prints a paper-vs-measured report in Markdown — EXPERIMENTS.md is exactly
+this command's output. ``--quick`` trims sample counts for a fast smoke
+run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro import __version__
+from repro.analysis.report import percent_change
+from repro.cluster.scenarios import (
+    rrt_scenario,
+    throughput_scenario,
+    txn_rrt_scenario,
+    txn_throughput_scenario,
+)
+from repro.net.profiles import PROFILES, get_profile
+
+KINDS = ("original", "read", "write")
+
+TABLE1_PAPER_MS = {
+    ("read_write", 3): 1.17,
+    ("read_write", 5): 1.79,
+    ("write_only", 3): 1.29,
+    ("write_only", 5): 2.01,
+    ("optimized", 3): 0.85,
+    ("optimized", 5): 1.23,
+}
+
+#: Paper-reported T-Paxos throughput gains (%), Fig. 9 commentary, 3-req.
+FIG9_PAPER_GAINS_3REQ = {
+    "read_write": (42, 43, 45, 47, 57),
+    "write_only": (52, 53, 77, 88, 97),
+}
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _rrt_section(quick: bool) -> str:
+    samples = 60 if quick else 300
+    sections = []
+    for name in ("sysnet", "berkeley_princeton", "wan"):
+        profile = get_profile(name)
+        rows = []
+        for kind in KINDS:
+            result = rrt_scenario(name, kind, samples=samples, seed=1)
+            paper = profile.paper_rrt[kind]
+            rows.append(
+                [
+                    kind,
+                    f"{paper * 1e3:.3f}",
+                    f"{result.rrt.mean * 1e3:.3f}",
+                    f"±{result.rrt.ci99 * 1e3:.4f}",
+                    f"{percent_change(paper, result.rrt.mean):+.1f}%",
+                ]
+            )
+        sections.append(
+            f"### {name} — request response time (§4.1)\n\n"
+            + _md_table(
+                ["kind", "paper (ms)", "measured (ms)", "99% CI (ms)", "delta"], rows
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _throughput_section(quick: bool) -> str:
+    total = 400 if quick else 1000
+    sections = []
+    for name, clients, figure in (
+        ("sysnet", (1, 2, 4, 8, 16), "Fig. 5"),
+        ("sysnet", (8, 16, 32, 64, 128), "Fig. 6"),
+        ("berkeley_princeton", (1, 2, 4, 8, 16), "Fig. 7"),
+        ("wan", (1, 2, 4, 8, 16), "Fig. 8"),
+    ):
+        rows = []
+        for c in clients:
+            row = [c]
+            for kind in ("read", "write", "original"):
+                result = throughput_scenario(name, kind, c, total_requests=total, seed=3)
+                row.append(f"{result.throughput:.0f}")
+            rows.append(row)
+        sections.append(
+            f"### {figure} — throughput on {name} (requests/s)\n\n"
+            + _md_table(["clients", "read", "write", "original"], rows)
+        )
+    return "\n\n".join(sections)
+
+
+def _table1_section(quick: bool) -> str:
+    samples = 60 if quick else 200
+    rows = []
+    measured = {}
+    for (mode, k), paper_ms in TABLE1_PAPER_MS.items():
+        result = txn_rrt_scenario(mode, k, samples=samples, seed=2)
+        measured[(mode, k)] = result.trt.mean
+        rows.append(
+            [
+                f"{mode} {k}-req",
+                f"{paper_ms:.2f}",
+                f"{result.trt.mean * 1e3:.2f}",
+                f"±{result.trt.ci99 * 1e3:.3f}",
+                f"{percent_change(paper_ms * 1e-3, result.trt.mean):+.1f}%",
+            ]
+        )
+    gains = []
+    for k in (3, 5):
+        for base in ("read_write", "write_only"):
+            reduction = 1 - measured[("optimized", k)] / measured[(base, k)]
+            gains.append(f"vs {base} {k}-req: -{reduction * 100:.0f}%")
+    return (
+        "### Table 1 — transaction response time (§4.2)\n\n"
+        + _md_table(
+            ["operation", "paper (ms)", "measured (ms)", "99% CI (ms)", "delta"], rows
+        )
+        + "\n\nT-Paxos TRT reduction (paper: 28%, 34%, 31%, 39%): "
+        + "; ".join(gains)
+    )
+
+
+def _fig9_section(quick: bool) -> str:
+    total = 200 if quick else 400
+    sections = []
+    for k in (3, 5):
+        rows = []
+        for i, c in enumerate((1, 2, 4, 8, 16)):
+            results = {
+                mode: txn_throughput_scenario(mode, k, c, total_txns=total, seed=5)
+                for mode in ("read_write", "write_only", "optimized")
+            }
+            opt = results["optimized"].step_throughput
+            rows.append(
+                [
+                    c,
+                    f"{results['read_write'].step_throughput:.0f}",
+                    f"{results['write_only'].step_throughput:.0f}",
+                    f"{opt:.0f}",
+                    f"+{(opt / results['read_write'].step_throughput - 1) * 100:.0f}%",
+                    f"+{(opt / results['write_only'].step_throughput - 1) * 100:.0f}%",
+                ]
+            )
+        sections.append(
+            f"### Fig. 9{'a' if k == 3 else 'b'} — {k}-request transaction "
+            "throughput (txn/s)\n\n"
+            + _md_table(
+                ["clients", "read/write", "write-only", "T-Paxos",
+                 "gain vs r/w", "gain vs w-only"],
+                rows,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def build_experiments_report(quick: bool = False) -> str:
+    started = time.time()
+    body = "\n\n".join(
+        [
+            "# EXPERIMENTS — paper vs. measured",
+            "Regenerate this file with `python -m repro experiments > EXPERIMENTS.md`"
+            " (add `--quick` for a fast smoke run). Every number below is produced"
+            " by the deterministic simulator; latency targets reproduce the paper"
+            " within a few percent, throughput reproduces the paper's *shapes*"
+            " (orderings, crossovers, peaks) — absolute throughput depends on"
+            " testbed constants the paper does not fully specify.",
+            "## Request response time (§4.1)",
+            _rrt_section(quick),
+            "## Throughput (Figs. 5-8)",
+            _throughput_section(quick),
+            "## Transactions (§4.2)",
+            _table1_section(quick),
+            _fig9_section(quick),
+            "## Ablations",
+            "Ablation benches (not in the paper's tables, called out in its text)"
+            " live in `benchmarks/`: leader-switch sensitivity (§3.6), t > 1"
+            " degradation under wide-area variance (§4.3), and state-transfer"
+            " payload/latency vs state size (§3.3). Run"
+            " `pytest benchmarks/ --benchmark-only`; results land in"
+            " `benchmarks/results/`.",
+            f"_Generated in {time.time() - started:.1f}s of host time._",
+        ]
+    )
+    return body
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Replicating Nondeterministic Services on "
+        "Grid Environments' (HPDC 2006).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="re-run every table/figure and print the report"
+    )
+    experiments.add_argument(
+        "--quick", action="store_true", help="smaller sample counts (smoke run)"
+    )
+
+    sub.add_parser("profiles", help="list the calibrated deployment profiles")
+
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        print(build_experiments_report(quick=args.quick))
+        return 0
+    if args.command == "profiles":
+        for name, factory in PROFILES.items():
+            profile = factory()
+            print(f"{name}: {profile.description}")
+            for kind, value in profile.paper_rrt.items():
+                print(f"    paper {kind} RRT: {value * 1e3:.3f} ms")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Workload generators.
+
+A client consumes a list of :class:`Step`s. A step is a sequence of
+requests issued back-to-back (each waits for the previous one's reply —
+clients are closed-loop, as in §4). A plain request workload has one
+request per step; a transaction workload has ``k`` operations plus the
+commit in one step, and the step's completion time is the paper's
+*transaction response time* (TRT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.types import RequestKind
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One unit of client work: requests issued sequentially.
+
+    ``transactional`` marks T-Paxos steps: the requests carry a per-attempt
+    transaction id, and an ABORTED reply cancels the rest of the step.
+    """
+
+    requests: tuple[tuple[RequestKind, Any], ...]
+    transactional: bool = False
+    label: str = ""
+
+
+def single_kind_steps(
+    kind: RequestKind,
+    count: int,
+    op: Any | Callable[[int], Any] = None,
+) -> list[Step]:
+    """``count`` independent requests of one kind (the Fig. 5–8 workloads).
+
+    ``op`` may be a fixed operation payload or a factory called with the
+    request index. Defaults to the noop-service op matching the kind.
+    """
+    steps = []
+    for index in range(count):
+        payload = op(index) if callable(op) else op
+        if payload is None:
+            payload = (kind.value,)
+        steps.append(Step(requests=((kind, payload),), label=kind.value))
+    return steps
+
+
+def txn_steps(
+    count: int,
+    ops: Sequence[Any] | Callable[[int], Sequence[Any]],
+    optimized: bool = True,
+    read_flags: Sequence[bool] | None = None,
+    commit_op: Any = ("write",),
+) -> list[Step]:
+    """``count`` transactions over explicit operation lists.
+
+    * ``optimized=True`` — T-Paxos: ops go as ``TXN_OP`` and the step ends
+      with ``TXN_COMMIT`` (§3.5).
+    * ``optimized=False`` — the §4.2 baseline: each op is an ordinary
+      READ/WRITE request (``read_flags`` says which; default all writes)
+      and the commit is one more WRITE-coordinated request carrying
+      ``commit_op`` (any cheap write the service understands — the noop
+      service's ``("write",)`` by default).
+    """
+    steps = []
+    for index in range(count):
+        op_list = tuple(ops(index)) if callable(ops) else tuple(ops)
+        if optimized:
+            requests = tuple((RequestKind.TXN_OP, op) for op in op_list)
+            requests += ((RequestKind.TXN_COMMIT, None),)
+            steps.append(Step(requests=requests, transactional=True, label="txn-opt"))
+        else:
+            flags = read_flags if read_flags is not None else [False] * len(op_list)
+            if len(flags) != len(op_list):
+                raise ValueError("read_flags must match ops length")
+            requests = tuple(
+                (RequestKind.READ if is_read else RequestKind.WRITE, op)
+                for op, is_read in zip(op_list, flags)
+            )
+            requests += ((RequestKind.WRITE, commit_op),)  # the commit request
+            steps.append(Step(requests=requests, label="txn-base"))
+    return steps
+
+
+def paper_txn_steps(mode: str, requests_per_txn: int, count: int) -> list[Step]:
+    """The §4.2 transaction workloads against the noop service.
+
+    * ``"read_write"`` — unoptimized; a 3-request transaction is 2 reads +
+      1 write, a 5-request one is 3 reads + 2 writes (as specified in §4.2),
+      plus the commit.
+    * ``"write_only"`` — unoptimized, all writes, plus the commit.
+    * ``"optimized"`` — T-Paxos: all ops answered immediately, one commit.
+    """
+    if requests_per_txn < 1:
+        raise ValueError("requests_per_txn must be >= 1")
+    if mode == "optimized":
+        ops = tuple(("write",) for _ in range(requests_per_txn))
+        return txn_steps(count, ops, optimized=True)
+    if mode == "write_only":
+        ops = tuple(("write",) for _ in range(requests_per_txn))
+        return txn_steps(count, ops, optimized=False)
+    if mode == "read_write":
+        n_writes = requests_per_txn // 2  # 3 -> 1 write, 5 -> 2 writes
+        n_reads = requests_per_txn - n_writes
+        ops = tuple(("read",) for _ in range(n_reads)) + tuple(
+            ("write",) for _ in range(n_writes)
+        )
+        flags = tuple(True for _ in range(n_reads)) + tuple(False for _ in range(n_writes))
+        return txn_steps(count, ops, optimized=False, read_flags=flags)
+    raise ValueError(f"unknown transaction mode {mode!r}")

@@ -1,0 +1,62 @@
+"""Fault schedules: scripted crashes, recoveries, partitions and leader
+switches against a running :class:`repro.cluster.harness.Cluster`.
+
+Actions are applied at absolute simulated times. With the ``manual``
+elector, :meth:`FaultSchedule.switch_leader` flips every replica's view at
+once (an idealized instantaneous election); with the ``omega`` elector,
+crash the leader instead and let the heartbeats time out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ConfigError
+from repro.types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.harness import Cluster
+
+
+@dataclass
+class FaultSchedule:
+    """Builder for a scripted fault timeline on one cluster."""
+
+    cluster: "Cluster"
+    applied: list[tuple[float, str]] = field(default_factory=list)
+
+    def crash(self, pid: ProcessId, at: float) -> "FaultSchedule":
+        self.cluster.world.schedule_crash(pid, at)
+        self.applied.append((at, f"crash {pid}"))
+        return self
+
+    def recover(self, pid: ProcessId, at: float) -> "FaultSchedule":
+        self.cluster.world.schedule_recover(pid, at)
+        self.applied.append((at, f"recover {pid}"))
+        return self
+
+    def crash_leader(self, at: float) -> "FaultSchedule":
+        return self.crash(self.cluster.leader_pid, at)
+
+    def switch_leader(self, new_leader: ProcessId, at: float) -> "FaultSchedule":
+        """Instantaneous view change on every replica (manual elector only)."""
+        group = self.cluster.manual_electors
+        if group is None:
+            raise ConfigError("switch_leader requires the 'manual' elector")
+        self.cluster.kernel.schedule_at(at, group.set_leader, new_leader)
+        self.applied.append((at, f"switch leader -> {new_leader}"))
+        return self
+
+    def partition(self, groups: Iterable[Iterable[ProcessId]], at: float) -> "FaultSchedule":
+        frozen = [list(g) for g in groups]
+        self.cluster.kernel.schedule_at(
+            at, self.cluster.network.partitions.partition, frozen
+        )
+        self.applied.append((at, f"partition {frozen}"))
+        return self
+
+    def heal(self, at: float) -> "FaultSchedule":
+        self.cluster.kernel.schedule_at(at, self.cluster.network.partitions.heal)
+        self.applied.append((at, "heal partition"))
+        return self

@@ -1,0 +1,236 @@
+"""Build and run one simulated deployment.
+
+Reproduces the §4 experimental procedure: replicas and clients are placed
+according to a :class:`repro.net.profiles.NetworkProfile`; after the world
+starts, a starter co-located with the leader broadcasts the
+:class:`repro.core.messages.StartSignal` "to all the clients simultaneously
+to ensure that the client processes start at (roughly) the same time";
+each client then works through its closed-loop step list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.client.client import Client
+from repro.client.workload import Step
+from repro.core.config import ReplicaConfig
+from repro.core.messages import StartSignal
+from repro.core.replica import Replica
+from repro.election.omega import OmegaElector
+from repro.election.static import ManualElectorGroup, StaticElector
+from repro.errors import ConfigError, SimulationError
+from repro.net.network import SimNetwork
+from repro.net.profiles import NetworkProfile
+from repro.services.base import Service
+from repro.services.noop import NoopService
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+from repro.sim.world import World
+from repro.types import ProcessId, StateTransferMode
+
+
+class Starter(Process):
+    """Broadcasts the start signal at a fixed time (stands next to the
+    leader, so signal skew equals the paper's leader-to-client latency).
+
+    The signal is re-broadcast a bounded number of times so lossy-network
+    experiments still start; clients ignore duplicates.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        clients: Sequence[ProcessId],
+        at: float,
+        repeat_interval: float = 0.2,
+        repeats: int = 100,
+    ) -> None:
+        super().__init__(pid)
+        self.clients = tuple(clients)
+        self.at = at
+        self.repeat_interval = repeat_interval
+        self.repeats = repeats
+
+    def on_start(self) -> None:
+        self.set_timer(self.at, self._fire, self.repeats)
+
+    def _fire(self, remaining: int) -> None:
+        self.broadcast(self.clients, StartSignal())
+        if remaining > 0:
+            self.set_timer(self.repeat_interval, self._fire, remaining - 1)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything needed to build one deployment."""
+
+    profile: NetworkProfile
+    n_replicas: int = 3
+    seed: int = 0
+    state_mode: StateTransferMode = StateTransferMode.FULL
+    xpaxos_reads: bool = True
+    tpaxos: bool = True
+    execute_time: float = 0.0
+    checkpoint_interval: int = 100
+    accept_retry: float = 0.5
+    prepare_retry: float = 0.1
+    client_timeout: float = 1.0
+    retry_aborted: bool = False
+    max_abort_retries: int = 10
+    #: "static" (benchmark default), "manual" (fault tests), "omega".
+    elector: str = "static"
+    omega_heartbeat: float = 0.05
+    omega_timeout: float = 0.25
+    #: Scale per-message CPU with the client count (Fig. 6's contention).
+    connection_scaling: bool = True
+    start_at: float = 0.001
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ConfigError("need at least one replica")
+        if self.elector not in ("static", "manual", "omega"):
+            raise ConfigError(f"unknown elector kind {self.elector!r}")
+
+
+class Cluster:
+    """One wired-up deployment, ready to run."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        client_steps: Sequence[Sequence[Step]],
+        service_factory: Callable[[], Service] = NoopService,
+    ) -> None:
+        self.spec = spec
+        n_clients = len(client_steps)
+        if n_clients < 1:
+            raise ConfigError("need at least one client (give it an empty step list)")
+
+        self.replica_pids = tuple(f"r{i}" for i in range(spec.n_replicas))
+        self.client_pids = tuple(f"c{i}" for i in range(n_clients))
+        starter_pid = "starter"
+
+        profile = spec.profile
+        topology = profile.build_topology(self.replica_pids, self.client_pids)
+        # The starter stands next to the leader (the paper's leader sends
+        # the start signal).
+        topology.place(starter_pid, topology.site_of(self.replica_pids[0]))
+
+        self.network = SimNetwork(topology, seed=spec.seed)
+        self.kernel = Kernel(seed=spec.seed)
+        self.trace = TraceRecorder() if spec.trace else None
+        self.world = World(self.kernel, self.network, trace=self.trace)
+
+        config = ReplicaConfig(
+            peers=self.replica_pids,
+            state_mode=spec.state_mode,
+            xpaxos_reads=spec.xpaxos_reads,
+            tpaxos=spec.tpaxos,
+            accept_retry=spec.accept_retry,
+            prepare_retry=spec.prepare_retry,
+            checkpoint_interval=spec.checkpoint_interval,
+            execute_time=spec.execute_time,
+        )
+        self.config = config
+
+        self.manual_electors: ManualElectorGroup | None = None
+        if spec.elector == "manual":
+            self.manual_electors = ManualElectorGroup(self.leader_pid)
+
+        replica_cpu = profile.replica_cpu
+        if spec.connection_scaling:
+            replica_cpu = profile.replica_cpu_for(n_clients)
+
+        self.replicas: dict[ProcessId, Replica] = {}
+        for pid in self.replica_pids:
+            if spec.elector == "static":
+                elector = StaticElector(self.leader_pid)
+            elif spec.elector == "manual":
+                assert self.manual_electors is not None
+                elector = self.manual_electors.elector_for(pid)
+            else:
+                elector = OmegaElector(
+                    heartbeat_interval=spec.omega_heartbeat,
+                    suspect_timeout=spec.omega_timeout,
+                )
+            replica = Replica(pid, config, service_factory, elector)
+            self.world.add(replica, cpu=replica_cpu)
+            self.replicas[pid] = replica
+
+        self.clients: list[Client] = []
+        for pid, steps in zip(self.client_pids, client_steps):
+            client = Client(
+                pid,
+                replicas=self.replica_pids,
+                steps=steps,
+                timeout=spec.client_timeout,
+                wait_for_start=True,
+                retry_aborted=spec.retry_aborted,
+                max_abort_retries=spec.max_abort_retries,
+            )
+            self.world.add(client, cpu=profile.client_cpu)
+            self.clients.append(client)
+
+        self.starter = Starter(starter_pid, self.client_pids, at=spec.start_at)
+        self.world.add(self.starter, cpu=profile.client_cpu)
+
+        self._started = False
+
+    # ---------------------------------------------------------------- running
+    @property
+    def leader_pid(self) -> ProcessId:
+        """The initial/benchmark leader: the first replica (as in §4's WAN
+        configuration, where the leader ran at UIUC)."""
+        return self.replica_pids[0]
+
+    def leader(self) -> Replica:
+        return self.replicas[self.leader_pid]
+
+    @property
+    def all_done(self) -> bool:
+        return all(c.done for c in self.clients)
+
+    def run(self, max_time: float = 600.0, check_interval: float = 0.05) -> "Cluster":
+        """Run until every client finished its steps (or ``max_time``)."""
+        if not self._started:
+            self.world.start()
+            self._started = True
+        while not self.all_done:
+            if self.kernel.now >= max_time:
+                unfinished = [c.pid for c in self.clients if not c.done]
+                raise SimulationError(
+                    f"run exceeded max_time={max_time}s with unfinished "
+                    f"clients {unfinished} at t={self.kernel.now:.3f}s"
+                )
+            self.kernel.run(until=min(self.kernel.now + check_interval, max_time))
+        return self
+
+    def start(self) -> "Cluster":
+        """Start the world without running (for fault-schedule composition)."""
+        if not self._started:
+            self.world.start()
+            self._started = True
+        return self
+
+    # ---------------------------------------------------------------- queries
+    def replica_fingerprints(self) -> dict[ProcessId, object]:
+        """Service-state digests of all *alive* replicas (convergence checks).
+
+        Note: backups converge to the leader's state as of their applied
+        frontier; immediately after a run every committed instance has been
+        broadcast, so after the pipeline drains these should be equal.
+        """
+        return {
+            pid: r.service.state_fingerprint()
+            for pid, r in self.replicas.items()
+            if r.alive
+        }
+
+    def drain(self, grace: float = 2.0) -> "Cluster":
+        """Run a little longer so Chosen broadcasts reach every backup."""
+        self.kernel.run(until=self.kernel.now + grace)
+        return self

@@ -1,0 +1,91 @@
+"""Result collection for harness runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.stats import Summary, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.harness import Cluster
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Aggregate measurements of one harness run.
+
+    Times are seconds; throughputs are per second. ``throughput`` counts
+    individual requests (Figs. 5–8), ``step_throughput`` counts completed
+    steps — i.e. transactions for transaction workloads (Fig. 9).
+    """
+
+    n_clients: int
+    duration: float
+    total_requests: int
+    total_steps: int
+    aborted_steps: int
+    total_retransmits: int
+    rrt: Summary | None
+    trt: Summary | None
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.total_requests / self.duration
+
+    @property
+    def step_throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.total_steps / self.duration
+
+    def describe(self) -> str:
+        lines = [
+            f"clients={self.n_clients} duration={self.duration * 1e3:.3f}ms "
+            f"requests={self.total_requests} throughput={self.throughput:.1f}/s",
+        ]
+        if self.rrt is not None:
+            lines.append(
+                f"RRT mean={self.rrt.mean * 1e3:.3f}ms ±{self.rrt.ci99 * 1e3:.3f}ms (99% CI)"
+            )
+        if self.trt is not None:
+            lines.append(
+                f"TRT mean={self.trt.mean * 1e3:.3f}ms ±{self.trt.ci99 * 1e3:.3f}ms (99% CI) "
+                f"txn throughput={self.step_throughput:.1f}/s aborted={self.aborted_steps}"
+            )
+        return "\n".join(lines)
+
+
+def collect(cluster: "Cluster") -> RunResult:
+    """Summarize a finished run."""
+    clients = cluster.clients
+    starts = [c.started_at for c in clients if c.started_at is not None]
+    ends = [c.finished_at for c in clients if c.finished_at is not None]
+    duration = (max(ends) - min(starts)) if starts and ends else 0.0
+
+    rrts: list[float] = []
+    trts: list[float] = []
+    total_requests = 0
+    total_steps = 0
+    aborted = 0
+    retransmits = 0
+    for client in clients:
+        rrts.extend(client.rrts())
+        trts.extend(client.trts())
+        total_requests += client.completed_requests
+        total_steps += client.completed_steps
+        aborted += sum(1 for s in client.records if s.aborted)
+        retransmits += sum(r.retransmits for r in client.request_records())
+
+    return RunResult(
+        n_clients=len(clients),
+        duration=duration,
+        total_requests=total_requests,
+        total_steps=total_steps,
+        aborted_steps=aborted,
+        total_retransmits=retransmits,
+        rrt=summarize(rrts) if rrts else None,
+        trt=summarize(trts) if trts else None,
+    )

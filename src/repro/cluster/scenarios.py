@@ -1,0 +1,107 @@
+"""Canned runners for the paper's experiments (§4).
+
+Each function builds a cluster against a named profile, runs the paper's
+workload shape, and returns the collected :class:`RunResult`. These are
+the building blocks the benchmark suite (one bench per table/figure) and
+EXPERIMENTS.md generation are written in terms of.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.client.workload import paper_txn_steps, single_kind_steps
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.cluster.metrics import RunResult, collect
+from repro.net.profiles import NetworkProfile, get_profile
+from repro.types import RequestKind
+
+
+def _resolve_profile(profile: str | NetworkProfile) -> NetworkProfile:
+    if isinstance(profile, NetworkProfile):
+        return profile
+    return get_profile(profile)
+
+
+def _resolve_kind(kind: str | RequestKind) -> RequestKind:
+    if isinstance(kind, RequestKind):
+        return kind
+    return RequestKind(kind)
+
+
+def rrt_scenario(
+    profile: str | NetworkProfile,
+    kind: str | RequestKind,
+    samples: int = 200,
+    seed: int = 0,
+    **spec_overrides: Any,
+) -> RunResult:
+    """Request response time: one closed-loop client, ``samples`` requests
+    (the paper used 1 client x 20 requests x hundreds of sample runs; one
+    long run gives the same mean with tighter machinery)."""
+    profile = _resolve_profile(profile)
+    kind = _resolve_kind(kind)
+    spec = ClusterSpec(profile=profile, seed=seed, **spec_overrides)
+    steps = single_kind_steps(kind, samples)
+    cluster = Cluster(spec, [steps])
+    cluster.run()
+    return collect(cluster)
+
+
+def throughput_scenario(
+    profile: str | NetworkProfile,
+    kind: str | RequestKind,
+    n_clients: int,
+    total_requests: int = 1000,
+    seed: int = 0,
+    **spec_overrides: Any,
+) -> RunResult:
+    """Service throughput: ``n_clients`` concurrent closed-loop clients,
+    each sending ``total_requests / n_clients`` requests (§4: "each client
+    sends exactly 1000/c requests")."""
+    profile = _resolve_profile(profile)
+    kind = _resolve_kind(kind)
+    per_client = max(1, total_requests // n_clients)
+    spec = ClusterSpec(profile=profile, seed=seed, **spec_overrides)
+    steps = [single_kind_steps(kind, per_client) for _ in range(n_clients)]
+    cluster = Cluster(spec, steps)
+    cluster.run()
+    return collect(cluster)
+
+
+def txn_rrt_scenario(
+    mode: str,
+    requests_per_txn: int,
+    samples: int = 100,
+    profile: str | NetworkProfile = "sysnet",
+    seed: int = 0,
+    **spec_overrides: Any,
+) -> RunResult:
+    """Transaction response time (Table 1): one client, ``samples``
+    transactions of ``mode`` in {read_write, write_only, optimized}."""
+    profile = _resolve_profile(profile)
+    spec = ClusterSpec(profile=profile, seed=seed, **spec_overrides)
+    steps = paper_txn_steps(mode, requests_per_txn, samples)
+    cluster = Cluster(spec, [steps])
+    cluster.run()
+    return collect(cluster)
+
+
+def txn_throughput_scenario(
+    mode: str,
+    requests_per_txn: int,
+    n_clients: int,
+    total_txns: int = 500,
+    profile: str | NetworkProfile = "sysnet",
+    seed: int = 0,
+    **spec_overrides: Any,
+) -> RunResult:
+    """Transaction throughput (Fig. 9): ``n_clients`` concurrent clients
+    splitting ``total_txns`` transactions."""
+    profile = _resolve_profile(profile)
+    per_client = max(1, total_txns // n_clients)
+    spec = ClusterSpec(profile=profile, seed=seed, **spec_overrides)
+    steps = [paper_txn_steps(mode, requests_per_txn, per_client) for _ in range(n_clients)]
+    cluster = Cluster(spec, steps)
+    cluster.run()
+    return collect(cluster)

@@ -1,0 +1,40 @@
+"""The paper's contribution: Paxos-based replication of nondeterministic
+services, with the X-Paxos read and T-Paxos transaction optimizations.
+
+Module map (paper section in parentheses):
+
+* :mod:`repro.core.ballot` — ballot and proposal numbers (§3.2/§3.3).
+* :mod:`repro.core.requests` — client requests and at-most-once dedup.
+* :mod:`repro.core.messages` — the wire protocol.
+* :mod:`repro.core.state` — FULL / DELTA / REPRO state transfer (§3.3).
+* :mod:`repro.core.log` — the replica's command log (§3.3).
+* :mod:`repro.core.paxos` — single-decree classic Paxos (§3.2).
+* :mod:`repro.core.fastpaxos` — single-decree Fast Paxos (§5 comparator).
+* :mod:`repro.core.multipaxos` — deterministic-SMR baseline (§3.3 ¶1).
+* :mod:`repro.core.acceptor` — the acceptor role shared by all variants.
+* :mod:`repro.core.proposer` — the leader's sequential proposal pipeline.
+* :mod:`repro.core.xpaxos` — the read path (§3.4).
+* :mod:`repro.core.locks`, :mod:`repro.core.tpaxos` — transactions (§3.5).
+* :mod:`repro.core.recovery` — new-leader recovery (§3.3).
+* :mod:`repro.core.replica` — the full service replica.
+"""
+
+from repro.core.ballot import Ballot, ProposalNumber
+from repro.core.config import ReplicaConfig
+from repro.core.log import AcceptedEntry, ReplicaLog
+from repro.core.requests import ClientRequest, ExecutedTable, RequestId
+from repro.core.replica import Replica
+from repro.core.state import StatePayload
+
+__all__ = [
+    "AcceptedEntry",
+    "Ballot",
+    "ClientRequest",
+    "ExecutedTable",
+    "ProposalNumber",
+    "Replica",
+    "ReplicaConfig",
+    "ReplicaLog",
+    "RequestId",
+    "StatePayload",
+]

@@ -1,0 +1,67 @@
+"""Replica configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.types import ProcessId, StateTransferMode
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaConfig:
+    """Static configuration shared by all replicas of one service group.
+
+    * ``peers`` — all replica ids, including the local one.
+    * ``state_mode`` — how proposal state is shipped (§3.3).
+    * ``xpaxos_reads`` — serve reads via X-Paxos (§3.4); when False, reads
+      are totally ordered through the basic protocol like writes.
+    * ``tpaxos`` — accept T-Paxos transaction requests (§3.5).
+    * ``accept_retry`` / ``prepare_retry`` — retransmission intervals for
+      the leader's in-flight Accept and Prepare rounds ("if the leader
+      fails to receive the expected response ... it retransmits").
+    * ``checkpoint_interval`` — take a stable checkpoint (and compact the
+      log) every this many applied instances.
+    * ``max_batch`` — upper bound on instances per pipeline accept round
+      (real implementations are bounded by message size / socket buffers).
+    """
+
+    peers: tuple[ProcessId, ...]
+    state_mode: StateTransferMode = StateTransferMode.FULL
+    xpaxos_reads: bool = True
+    tpaxos: bool = True
+    accept_retry: float = 1.0
+    prepare_retry: float = 1.0
+    checkpoint_interval: int = 100
+    max_batch: int = 8
+    #: Period of the leader's anti-entropy FrontierProbe broadcast.
+    sync_interval: float = 0.25
+    #: Service execution time E per request, in seconds (0 for the paper's
+    #: empty-method benchmark service). Modeled, not burned: the leader
+    #: finishes executing E seconds after it starts.
+    execute_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.peers) < 1:
+            raise ConfigError("need at least one replica")
+        if len(set(self.peers)) != len(self.peers):
+            raise ConfigError(f"duplicate peer ids: {self.peers}")
+        if self.checkpoint_interval < 1:
+            raise ConfigError("checkpoint_interval must be >= 1")
+
+    @property
+    def n(self) -> int:
+        return len(self.peers)
+
+    @property
+    def majority(self) -> int:
+        """Quorum size: ceil((n+1)/2) processes, as required in §3.1."""
+        return self.n // 2 + 1
+
+    @property
+    def max_faults(self) -> int:
+        """t = floor((n-1)/2): how many replica crashes are tolerated."""
+        return (self.n - 1) // 2
+
+    def others(self, pid: ProcessId) -> tuple[ProcessId, ...]:
+        return tuple(p for p in self.peers if p != pid)

@@ -1,0 +1,200 @@
+"""Chandra-Toueg ♦S consensus — the engine under semi-passive replication.
+
+§5: "Semi-passive replication ... uses the Chandra-Toueg ♦S consensus
+algorithm to implement the primary-backup approach. It uses the same idea
+of running consensus on both the command and the state update, but its
+practical implementation and performance remains uninvestigated." This
+module (plus :mod:`repro.core.semipassive`) investigates it.
+
+The algorithm (Chandra & Toueg, JACM 1996), crash-stop, majority-correct,
+with an eventually-strong failure detector ♦S supplied by the driver:
+
+round ``r`` has coordinator ``peers[r mod n]``:
+
+1. every process sends its *estimate* ``(value, stamp)`` to the coordinator;
+2. the coordinator adopts the estimate with the highest stamp from a
+   majority and broadcasts it as the round's *proposal*;
+3. a process that receives the proposal adopts it (stamp = r) and ACKs;
+   a process whose failure detector suspects the coordinator NACKs and
+   moves to the next round;
+4. on a majority of ACKs the coordinator *decides* and (reliably)
+   broadcasts the decision; on any NACK it abandons the round.
+
+Sans-IO like :mod:`repro.core.paxos`: methods consume a message and return
+the messages to send; the caller owns delivery, suspicion and retries. The
+adversarial property tests drive thousands of schedules with arbitrary
+suspicion patterns and assert agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+# ------------------------------------------------------------------ messages
+@dataclass(frozen=True, slots=True)
+class CTEstimate:
+    """Process -> round coordinator: my current estimate."""
+
+    round: int
+    value: Any
+    stamp: int   # the round in which this estimate was last adopted
+
+
+@dataclass(frozen=True, slots=True)
+class CTPropose:
+    """Coordinator -> all: the round's proposal."""
+
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class CTAck:
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class CTNack:
+    """I suspected the coordinator of ``round`` and moved on."""
+
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class CTDecide:
+    value: Any
+
+
+class CTProcess:
+    """One ♦S consensus participant (all roles; coordinates when its turn).
+
+    Drive it with ``start()``, feed messages via the ``on_*`` methods, and
+    inject suspicion with ``suspect_coordinator()``. Outgoing messages are
+    returned as ``(dst, msg)`` pairs (``dst`` of None = broadcast to all).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        peers: Iterable[ProcessId],
+        value: Any,
+        propose_hook: Any = None,
+    ) -> None:
+        self.pid = pid
+        self.peers = tuple(peers)
+        if self.pid not in self.peers:
+            raise ProtocolError(f"{pid} not in peer list")
+        self.estimate: Any = value
+        self.stamp = -1
+        #: Optional transform applied to the adopted estimate right before
+        #: proposing — semi-passive replication's *lazy execution* hook: it
+        #: may replace a never-locked placeholder with a freshly computed
+        #: value, but must pass locked (non-placeholder) values through.
+        self.propose_hook = propose_hook
+        self.round = 0
+        self.decided = False
+        self.decision: Any = None
+        # Coordinator-side state for rounds this process coordinates.
+        self._estimates: dict[int, dict[ProcessId, tuple[Any, int]]] = {}
+        self._acks: dict[int, set[ProcessId]] = {}
+        self._proposed: dict[int, Any] = {}
+
+    @property
+    def n(self) -> int:
+        return len(self.peers)
+
+    @property
+    def majority(self) -> int:
+        return self.n // 2 + 1
+
+    def coordinator_of(self, round_: int) -> ProcessId:
+        return self.peers[round_ % self.n]
+
+    # --------------------------------------------------------------- driving
+    def start(self) -> list[tuple[ProcessId | None, Any]]:
+        """Enter round 0 (idempotent): send the estimate to its coordinator."""
+        return self._enter_round(self.round)
+
+    def _enter_round(self, round_: int) -> list[tuple[ProcessId | None, Any]]:
+        self.round = round_
+        return [
+            (
+                self.coordinator_of(round_),
+                CTEstimate(round=round_, value=self.estimate, stamp=self.stamp),
+            )
+        ]
+
+    def suspect_coordinator(self) -> list[tuple[ProcessId | None, Any]]:
+        """♦S fired: abandon the current round."""
+        if self.decided:
+            return []
+        out: list[tuple[ProcessId | None, Any]] = [
+            (self.coordinator_of(self.round), CTNack(round=self.round))
+        ]
+        out.extend(self._enter_round(self.round + 1))
+        return out
+
+    # ------------------------------------------------------- message handling
+    def on_estimate(self, src: ProcessId, msg: CTEstimate) -> list[tuple[ProcessId | None, Any]]:
+        if self.decided or self.coordinator_of(msg.round) != self.pid:
+            return []
+        if msg.round in self._proposed:
+            # Late estimate: re-send the proposal so the sender can ACK.
+            return [(src, CTPropose(round=msg.round, value=self._proposed[msg.round]))]
+        bucket = self._estimates.setdefault(msg.round, {})
+        bucket[src] = (msg.value, msg.stamp)
+        if len(bucket) < self.majority:
+            return []
+        # Adopt the estimate with the highest stamp (the ♦S locking rule).
+        value = max(bucket.values(), key=lambda vs: vs[1])[0]
+        if self.propose_hook is not None:
+            value = self.propose_hook(value)
+        self._proposed[msg.round] = value
+        return [(None, CTPropose(round=msg.round, value=value))]
+
+    def on_propose(self, src: ProcessId, msg: CTPropose) -> list[tuple[ProcessId | None, Any]]:
+        if self.decided or msg.round < self.round:
+            return []
+        # Adopt the proposal: this is the locking step that makes any
+        # decided value stick across rounds.
+        self.round = max(self.round, msg.round)
+        self.estimate = msg.value
+        self.stamp = msg.round
+        return [(src, CTAck(round=msg.round))]
+
+    def on_ack(self, src: ProcessId, msg: CTAck) -> list[tuple[ProcessId | None, Any]]:
+        if self.decided or self.coordinator_of(msg.round) != self.pid:
+            return []
+        if msg.round not in self._proposed:
+            return []
+        acks = self._acks.setdefault(msg.round, set())
+        acks.add(src)
+        if len(acks) < self.majority:
+            return []
+        value = self._proposed[msg.round]
+        self._decide(value)
+        return [(None, CTDecide(value=value))]
+
+    def on_nack(self, src: ProcessId, msg: CTNack) -> list[tuple[ProcessId | None, Any]]:
+        # The round is poisoned for us as coordinator; nothing to send —
+        # the nacker has already moved on and will drive the next round.
+        return []
+
+    def on_decide(self, src: ProcessId, msg: CTDecide) -> list[tuple[ProcessId | None, Any]]:
+        self._decide(msg.value)
+        return []
+
+    def _decide(self, value: Any) -> None:
+        if self.decided:
+            if self.decision != value:
+                raise ProtocolError(
+                    f"{self.pid} decided twice: {self.decision!r} vs {value!r}"
+                )
+            return
+        self.decided = True
+        self.decision = value

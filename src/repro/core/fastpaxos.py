@@ -1,0 +1,241 @@
+"""Single-decree Fast Paxos — the §5 related-work comparator.
+
+"Fast Paxos [18] saves one message delay compared with Paxos by having
+clients send commands directly to the acceptors, bypassing the leader. ...
+Fast Paxos works well if all acceptors assign the same command ... .
+Otherwise, the processes may not choose any command, forcing the leader to
+intercede. Fast Paxos requires more replicas than Paxos to mask the same
+number of failures."
+
+This is a compact, sans-IO educational implementation mirroring
+:mod:`repro.core.paxos`: the coordinator opens a *fast round* with an Any
+message; acceptors then accept the first client value they see; a value is
+chosen once a **fast quorum** accepts it. On a collision (no value reaches
+a fast quorum) the coordinator intercedes with a classic round, picking the
+value most reported at the highest ballot among a classic quorum — safe
+under the quorum sizing below.
+
+Quorum sizing: to tolerate ``f`` failures Fast Paxos needs ``n >= 3f + 1``
+(vs Paxos's ``2f + 1`` — the "more replicas" cost). We use classic quorums
+of ``ceil((n+1)/2)`` and fast quorums of ``n - f``; any classic quorum
+intersects any *two* fast quorums, which is what makes collision recovery
+safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.ballot import Ballot
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+# ------------------------------------------------------------------ messages
+@dataclass(frozen=True, slots=True)
+class FAny:
+    """Coordinator -> acceptors: round ``ballot`` is fast — accept the first
+    client value you receive."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class FClientValue:
+    """Client -> acceptors, directly (the saved message delay)."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class FAccepted:
+    """Acceptor -> coordinator/learners."""
+
+    ballot: Ballot
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class FPrepare:
+    """Coordinator -> acceptors: classic round (collision recovery)."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class FPromise:
+    ballot: Ballot
+    accepted: tuple[Ballot, Any] | None
+
+
+@dataclass(frozen=True, slots=True)
+class FAccept:
+    """Classic phase-2 accept (collision recovery)."""
+
+    ballot: Ballot
+    value: Any
+
+
+def fast_quorum(n: int) -> int:
+    """Fast-quorum size for ``n`` acceptors tolerating ``floor((n-1)/3)``."""
+    return n - (n - 1) // 3
+
+
+def classic_quorum(n: int) -> int:
+    return n // 2 + 1
+
+
+# --------------------------------------------------------------------- roles
+class FastAcceptor:
+    """One acceptor; stable state is ``promised`` and ``accepted``."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.promised: Ballot = Ballot.ZERO
+        self.accepted: tuple[Ballot, Any] | None = None
+        self._fast_open: Ballot | None = None
+
+    def on_any(self, msg: FAny) -> bool:
+        """Open the fast round; returns False if promised higher."""
+        if msg.ballot < self.promised:
+            return False
+        self.promised = msg.ballot
+        self._fast_open = msg.ballot
+        return True
+
+    def on_client_value(self, msg: FClientValue) -> FAccepted | None:
+        """Accept the first client value of the open fast round."""
+        if self._fast_open is None or self._fast_open < self.promised:
+            return None
+        if self.accepted is not None and self.accepted[0] >= self._fast_open:
+            return None  # already accepted a value in this (or a later) round
+        self.accepted = (self._fast_open, msg.value)
+        return FAccepted(ballot=self._fast_open, value=msg.value)
+
+    def on_prepare(self, msg: FPrepare) -> FPromise | None:
+        if msg.ballot < self.promised:
+            return None
+        self.promised = msg.ballot
+        self._fast_open = None  # classic round closes the fast window
+        return FPromise(ballot=msg.ballot, accepted=self.accepted)
+
+    def on_accept(self, msg: FAccept) -> FAccepted | None:
+        if msg.ballot < self.promised:
+            return None
+        self.promised = msg.ballot
+        self.accepted = (msg.ballot, msg.value)
+        return FAccepted(ballot=msg.ballot, value=msg.value)
+
+
+class FastCoordinator:
+    """Opens the fast round, watches for a fast-quorum decision, and
+    intercedes with a classic round on collision."""
+
+    def __init__(self, pid: ProcessId, peers: Iterable[ProcessId]) -> None:
+        self.pid = pid
+        self.peers = tuple(peers)
+        if len(self.peers) < 4:
+            raise ProtocolError(
+                "Fast Paxos needs n >= 4 acceptors to tolerate one failure "
+                f"(n >= 3f+1); got {len(self.peers)}"
+            )
+        self.round: Ballot | None = None
+        self.chosen: Any = None
+        self._fast_votes: dict[ProcessId, tuple[Ballot, Any]] = {}
+        self._promises: dict[ProcessId, FPromise] = {}
+        self._classic_votes: set[ProcessId] = set()
+        self._classic_value: Any = None
+        self.phase = "idle"    # idle -> fast -> recovering -> classic -> done
+        self.interceded = False
+
+    @property
+    def n(self) -> int:
+        return len(self.peers)
+
+    # ------------------------------------------------------------ fast round
+    def open_fast_round(self, ballot: Ballot) -> FAny:
+        if ballot.leader != self.pid:
+            raise ProtocolError(f"ballot {ballot} does not belong to {self.pid}")
+        self.round = ballot
+        self.phase = "fast"
+        return FAny(ballot=ballot)
+
+    def on_fast_accepted(self, src: ProcessId, msg: FAccepted) -> bool:
+        """Returns True when a value becomes chosen."""
+        if self.phase not in ("fast", "done") or msg.ballot != self.round:
+            return self.phase == "done"
+        self._fast_votes[src] = (msg.ballot, msg.value)
+        counts: dict[Any, int] = {}
+        for _b, value in self._fast_votes.values():
+            counts[value] = counts.get(value, 0) + 1
+        for value, count in counts.items():
+            if count >= fast_quorum(self.n):
+                self._decide(value)
+                return True
+        return False
+
+    @property
+    def collided(self) -> bool:
+        """True when no value can reach a fast quorum any more."""
+        if self.phase != "fast":
+            return False
+        counts: dict[Any, int] = {}
+        for _b, value in self._fast_votes.values():
+            counts[value] = counts.get(value, 0) + 1
+        if not counts:
+            return False
+        outstanding = self.n - len(self._fast_votes)
+        best = max(counts.values())
+        return best + outstanding < fast_quorum(self.n)
+
+    # ------------------------------------------------------------- recovery
+    def intercede(self) -> FPrepare:
+        """Collision: start a classic round with the next ballot."""
+        assert self.round is not None
+        self.interceded = True
+        self.round = self.round.next_for(self.pid)
+        self.phase = "recovering"
+        self._promises.clear()
+        return FPrepare(ballot=self.round)
+
+    def on_promise(self, src: ProcessId, msg: FPromise) -> FAccept | None:
+        if self.phase != "recovering" or msg.ballot != self.round:
+            return None
+        self._promises[src] = msg
+        if len(self._promises) < classic_quorum(self.n):
+            return None
+        # Pick the value most reported at the highest ballot — with our
+        # quorum sizes, a value chosen in the fast round is reported by a
+        # strict plurality of any classic quorum.
+        highest = Ballot.ZERO
+        for promise in self._promises.values():
+            if promise.accepted is not None and promise.accepted[0] > highest:
+                highest = promise.accepted[0]
+        counts: dict[Any, int] = {}
+        for promise in self._promises.values():
+            if promise.accepted is not None and promise.accepted[0] == highest:
+                value = promise.accepted[1]
+                counts[value] = counts.get(value, 0) + 1
+        if not counts:
+            raise ProtocolError("collision recovery found no accepted values")
+        self._classic_value = max(counts.items(), key=lambda kv: kv[1])[0]
+        self.phase = "classic"
+        return FAccept(ballot=self.round, value=self._classic_value)
+
+    def on_classic_accepted(self, src: ProcessId, msg: FAccepted) -> bool:
+        if self.phase not in ("classic", "done") or msg.ballot != self.round:
+            return self.phase == "done"
+        self._classic_votes.add(src)
+        if len(self._classic_votes) >= classic_quorum(self.n):
+            self._decide(self._classic_value)
+            return True
+        return False
+
+    def _decide(self, value: Any) -> None:
+        if self.phase == "done" and self.chosen != value:
+            raise ProtocolError(
+                f"coordinator decided twice: {self.chosen!r} then {value!r}"
+            )
+        self.chosen = value
+        self.phase = "done"

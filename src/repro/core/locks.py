@@ -1,0 +1,185 @@
+"""Strict two-phase locking for concurrent transactions (§3.5).
+
+"If the service handles more than one transaction at a time, the service
+may have an inconsistent state when some transactions commit and others
+abort. ... any service that supports transactions needs to deal with
+concurrency of this type using locks or other mechanisms."
+
+Policy implemented here:
+
+* shared (read) / exclusive (write) locks per service-defined key;
+* **transactions** use *no-wait*: a conflicting request aborts the
+  requesting transaction immediately (simple, deadlock-free);
+* **non-transactional writes** (single-op "transactions" in locking terms)
+  may *wait*: they request all their locks atomically and are queued until
+  the keys free up. They never hold-and-wait, so they cannot deadlock.
+
+Locks are held until the owning transaction's commit is *chosen* (strict
+2PL through replication), so no other transaction can observe state that
+might still be rolled back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import LockConflict
+
+
+@dataclass(slots=True)
+class _KeyLock:
+    """Lock state for one key."""
+
+    readers: set[str] = field(default_factory=set)
+    writer: str | None = None
+
+    @property
+    def free(self) -> bool:
+        return not self.readers and self.writer is None
+
+
+@dataclass(slots=True)
+class _Waiter:
+    owner: str
+    read_keys: frozenset
+    write_keys: frozenset
+    grant: Callable[[], None]
+
+
+class LockManager:
+    """Per-leader lock table. Volatile: dies with leadership (all active
+    transactions are aborted on a leader switch anyway, §3.6)."""
+
+    def __init__(self) -> None:
+        self._locks: dict[object, _KeyLock] = {}
+        self._held_by: dict[str, set[object]] = {}
+        self._waiters: list[_Waiter] = []
+
+    # ------------------------------------------------------------- acquiring
+    def try_acquire(self, owner: str, read_keys: frozenset, write_keys: frozenset) -> bool:
+        """No-wait acquisition for transactions: all keys or nothing.
+
+        Returns True and records ownership on success; returns False on any
+        conflict with a different owner (the caller then aborts the txn).
+        Re-acquiring keys the owner already holds is fine (upgrades too,
+        when no other owner shares the key).
+        """
+        if self._conflicts(owner, read_keys, write_keys):
+            return False
+        self._grant(owner, read_keys, write_keys)
+        return True
+
+    def acquire_or_wait(
+        self,
+        owner: str,
+        read_keys: frozenset,
+        write_keys: frozenset,
+        grant: Callable[[], None],
+    ) -> bool:
+        """All-or-wait acquisition for non-transactional writes.
+
+        If every key is available the locks are granted and True is
+        returned; otherwise the request is queued and ``grant`` will be
+        called (with the locks held) once the keys free up.
+        """
+        if not self._conflicts(owner, read_keys, write_keys):
+            self._grant(owner, read_keys, write_keys)
+            return True
+        self._waiters.append(_Waiter(owner, read_keys, write_keys, grant))
+        return False
+
+    def _conflicts(self, owner: str, read_keys: frozenset, write_keys: frozenset) -> bool:
+        for key in write_keys:
+            lock = self._locks.get(key)
+            if lock is None:
+                continue
+            if lock.writer not in (None, owner):
+                return True
+            if lock.readers - {owner}:
+                return True
+        for key in read_keys:
+            lock = self._locks.get(key)
+            if lock is None:
+                continue
+            if lock.writer not in (None, owner):
+                return True
+        return False
+
+    def _grant(self, owner: str, read_keys: frozenset, write_keys: frozenset) -> None:
+        held = self._held_by.setdefault(owner, set())
+        for key in write_keys:
+            lock = self._locks.setdefault(key, _KeyLock())
+            lock.readers.discard(owner)
+            lock.writer = owner
+            held.add(key)
+        for key in read_keys:
+            if key in write_keys:
+                continue
+            lock = self._locks.setdefault(key, _KeyLock())
+            if lock.writer != owner:
+                lock.readers.add(owner)
+            held.add(key)
+
+    # -------------------------------------------------------------- releasing
+    def release_all(self, owner: str) -> None:
+        """Drop every lock ``owner`` holds, then wake eligible waiters (FIFO)."""
+        held = self._held_by.pop(owner, None)
+        if held:
+            for key in held:
+                lock = self._locks.get(key)
+                if lock is None:
+                    continue
+                lock.readers.discard(owner)
+                if lock.writer == owner:
+                    lock.writer = None
+                if lock.free:
+                    del self._locks[key]
+        self._wake()
+
+    def _wake(self) -> None:
+        # FIFO scan: grant waiters whose full key set is now available.
+        # Granting one waiter may block a later one — that is the fairness
+        # tradeoff of all-or-nothing acquisition.
+        progressed = True
+        while progressed:
+            progressed = False
+            for index, waiter in enumerate(self._waiters):
+                if not self._conflicts(waiter.owner, waiter.read_keys, waiter.write_keys):
+                    del self._waiters[index]
+                    self._grant(waiter.owner, waiter.read_keys, waiter.write_keys)
+                    waiter.grant()
+                    progressed = True
+                    break
+
+    def drop_waiters(self, owner: str) -> None:
+        """Remove queued (not yet granted) requests from ``owner``."""
+        self._waiters = [w for w in self._waiters if w.owner != owner]
+
+    def clear(self) -> None:
+        """Forget everything (leader step-down)."""
+        self._locks.clear()
+        self._held_by.clear()
+        self._waiters.clear()
+
+    # ---------------------------------------------------------------- queries
+    def holds(self, owner: str) -> frozenset:
+        return frozenset(self._held_by.get(owner, ()))
+
+    def owners(self) -> frozenset:
+        return frozenset(self._held_by)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def assert_consistent(self) -> None:
+        """Internal invariant check used by property tests."""
+        for key, lock in self._locks.items():
+            if lock.writer is not None and lock.readers:
+                raise LockConflict(f"key {key!r} has both writer and readers")
+            if lock.free:
+                raise LockConflict(f"key {key!r} is free but still in the table")
+            for owner in lock.readers | ({lock.writer} if lock.writer else set()):
+                if key not in self._held_by.get(owner, ()):
+                    raise LockConflict(f"lock on {key!r} not tracked for {owner!r}")

@@ -1,0 +1,177 @@
+"""The replica's command log (§3.3).
+
+"After accepting a proposal, a replica keeps the proposal in its log. Each
+replica needs to remember all the requests in the accepted proposals, while
+it only needs to keep the state of the latest proposal."
+
+The log tracks, per consensus instance: the highest-numbered accepted
+proposal, and the chosen (committed) value once known. The *frontier* is
+the highest instance such that every instance up to it is chosen — the
+prefix a replica may apply to its service copy. ``compact`` implements the
+paper's retention rule by dropping applied prefixes once checkpointed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ballot import ProposalNumber
+from repro.core.messages import Proposal, PromiseEntry
+from repro.errors import ProtocolError
+from repro.types import InstanceId
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptedEntry:
+    """The highest-numbered proposal this replica accepted for one instance."""
+
+    pn: ProposalNumber
+    value: Proposal
+
+
+class ReplicaLog:
+    """Per-replica log of accepted and chosen proposals."""
+
+    def __init__(self) -> None:
+        self._accepted: dict[InstanceId, AcceptedEntry] = {}
+        self._chosen: dict[InstanceId, Proposal] = {}
+        self._frontier: InstanceId = 0   # all instances <= frontier are chosen
+        self._compacted_to: InstanceId = 0
+
+    # --------------------------------------------------------------- accepts
+    def accept(self, pn: ProposalNumber, value: Proposal) -> None:
+        """Record an accepted proposal; keeps only the highest pn per instance."""
+        instance = pn.instance
+        if instance <= 0:
+            raise ProtocolError(f"instance numbers are 1-based, got {instance}")
+        current = self._accepted.get(instance)
+        if current is None or pn > current.pn:
+            self._accepted[instance] = AcceptedEntry(pn, value)
+
+    def accepted_entry(self, instance: InstanceId) -> AcceptedEntry | None:
+        return self._accepted.get(instance)
+
+    # ---------------------------------------------------------------- chosen
+    def choose(self, instance: InstanceId, value: Proposal) -> None:
+        """Record that ``instance`` decided ``value``. Idempotent; a
+        conflicting second value for the same instance is a safety violation
+        and raises."""
+        existing = self._chosen.get(instance)
+        if existing is not None:
+            if existing.primary_rid != value.primary_rid:
+                raise ProtocolError(
+                    f"instance {instance} chosen twice with different values: "
+                    f"{existing.primary_rid} vs {value.primary_rid}"
+                )
+            return
+        self._chosen[instance] = value
+        while (self._frontier + 1) in self._chosen:
+            self._frontier += 1
+
+    def is_chosen(self, instance: InstanceId) -> bool:
+        return instance in self._chosen or instance <= self._compacted_to
+
+    def chosen_value(self, instance: InstanceId) -> Proposal | None:
+        return self._chosen.get(instance)
+
+    @property
+    def frontier(self) -> InstanceId:
+        """Highest instance with a fully chosen prefix."""
+        return self._frontier
+
+    def chosen_above(self, instance: InstanceId) -> list[tuple[InstanceId, Proposal]]:
+        """Chosen entries with instance > ``instance``, ordered (for catch-up)."""
+        return sorted(
+            (i, v) for i, v in self._chosen.items() if i > instance
+        )
+
+    # -------------------------------------------------------------- recovery
+    def max_instance(self) -> InstanceId:
+        """Highest instance this replica has any information about."""
+        candidates = [self._frontier, self._compacted_to]
+        if self._accepted:
+            candidates.append(max(self._accepted))
+        if self._chosen:
+            candidates.append(max(self._chosen))
+        return max(candidates)
+
+    def max_instance_chosen(self) -> InstanceId:
+        """Highest instance known to be chosen (the "90" of the paper's
+        recovery example)."""
+        if self._chosen:
+            return max(max(self._chosen), self._compacted_to)
+        return self._compacted_to
+
+    def gaps(self) -> tuple[InstanceId, ...]:
+        """Instances below the highest *chosen* one that are not chosen —
+        the "88, 89" of the paper's recovery example."""
+        if not self._chosen:
+            return ()
+        top = max(self._chosen)
+        return tuple(
+            i for i in range(self._compacted_to + 1, top) if i not in self._chosen
+        )
+
+    def promise_entries(
+        self, gaps: tuple[InstanceId, ...], from_instance: InstanceId
+    ) -> tuple[PromiseEntry, ...]:
+        """Accepted entries a Promise should report for a Prepare's range."""
+        wanted = set(gaps)
+        entries = []
+        for instance, entry in sorted(self._accepted.items()):
+            if instance in wanted or instance >= from_instance:
+                entries.append(PromiseEntry(pn=entry.pn, value=entry.value))
+        return tuple(entries)
+
+    def install_prefix(self, upto: InstanceId) -> None:
+        """Record that every instance <= ``upto`` is decided and its effects
+        are covered by an installed snapshot (recovery/catch-up path).
+
+        Entries at or below ``upto`` are dropped; the frontier jumps forward
+        and then re-extends over any already-known chosen instances above.
+        """
+        if upto <= self._frontier and upto <= self._compacted_to:
+            return
+        for instance in [i for i in self._chosen if i <= upto]:
+            del self._chosen[instance]
+        for instance in [i for i in self._accepted if i <= upto]:
+            del self._accepted[instance]
+        self._compacted_to = max(self._compacted_to, upto)
+        self._frontier = max(self._frontier, upto)
+        while (self._frontier + 1) in self._chosen:
+            self._frontier += 1
+
+    # ------------------------------------------------------------ compaction
+    def compact(self, upto: InstanceId) -> int:
+        """Forget chosen and accepted entries with instance <= ``upto``.
+
+        Only a fully chosen prefix may be compacted (the caller must have
+        checkpointed the corresponding state). Returns the number of
+        entries dropped.
+        """
+        if upto > self._frontier:
+            raise ProtocolError(
+                f"cannot compact to {upto}: frontier is {self._frontier}"
+            )
+        dropped = 0
+        for instance in [i for i in self._chosen if i <= upto]:
+            del self._chosen[instance]
+            dropped += 1
+        for instance in [i for i in self._accepted if i <= upto]:
+            del self._accepted[instance]
+            dropped += 1
+        self._compacted_to = max(self._compacted_to, upto)
+        return dropped
+
+    @property
+    def compacted_to(self) -> InstanceId:
+        return self._compacted_to
+
+    def __len__(self) -> int:
+        return len(self._chosen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReplicaLog frontier={self._frontier} chosen={len(self._chosen)} "
+            f"accepted={len(self._accepted)} compacted_to={self._compacted_to}>"
+        )

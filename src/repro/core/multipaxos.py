@@ -1,0 +1,57 @@
+"""Multi-Paxos deterministic state-machine replication — the baseline.
+
+§3.3 opens with it: "To synchronize the replicas of deterministic
+services, one can implement a series of separate instances of the Paxos
+consensus algorithm and the proposal chosen by the ith instance is the ith
+executed request." No state is shipped; every replica re-executes.
+
+Rather than duplicating the replica machinery, Multi-Paxos is expressed as
+the :data:`repro.types.StateTransferMode.SMR` mode of the same
+:class:`repro.core.replica.Replica`: proposals carry only the request, and
+:meth:`Replica._apply_proposal` re-executes it at each backup. This module
+provides the convenience constructors (and the documentation anchor) for
+that configuration.
+
+The crucial caveat — and the paper's whole point — is that this baseline
+is **only correct for deterministic services**. The test
+``tests/integration/test_nondeterminism.py`` demonstrates replicas
+diverging when Multi-Paxos replicates the randomized resource broker,
+while the nondeterministic protocol keeps them identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.config import ReplicaConfig
+from repro.core.replica import Replica
+from repro.election.base import LeaderElector
+from repro.services.base import Service
+from repro.types import ProcessId, StateTransferMode
+
+
+def multipaxos_config(peers: tuple[ProcessId, ...], **overrides: Any) -> ReplicaConfig:
+    """A :class:`ReplicaConfig` for classic Multi-Paxos SMR.
+
+    X-Paxos reads remain available (the read optimization is orthogonal to
+    how writes replicate); pass ``xpaxos_reads=False`` to disable.
+    """
+    overrides.setdefault("tpaxos", False)  # SMR has no transaction path
+    return ReplicaConfig(peers=peers, state_mode=StateTransferMode.SMR, **overrides)
+
+
+class MultiPaxosReplica(Replica):
+    """A replica speaking classic Multi-Paxos (requests only, re-execution).
+
+    Thin sugar over ``Replica(config=multipaxos_config(...))``.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        peers: tuple[ProcessId, ...],
+        service_factory: Callable[[], Service],
+        elector: LeaderElector,
+        **overrides: Any,
+    ) -> None:
+        super().__init__(pid, multipaxos_config(peers, **overrides), service_factory, elector)

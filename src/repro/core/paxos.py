@@ -1,0 +1,196 @@
+"""Single-decree classic Paxos (§3.2) — the consensus building block.
+
+A deliberately self-contained, sans-IO implementation of one consensus
+instance: roles expose ``on_*`` methods that consume a message and return
+the messages to send. No timers, no transport — the caller (a replica, a
+test harness, or a property-based adversarial scheduler) owns delivery,
+ordering, duplication and retries. This is the reference against which the
+replication protocol's safety is checked: the property tests drive
+thousands of adversarial schedules and assert that at most one value is
+ever chosen.
+
+The phases follow §3.2: a proposer elected leader runs *prepare* with a
+ballot, learns existing proposals from a majority, then runs *accept* with
+a value consistent with the highest-ballot proposal it learned (or its own
+value if none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.ballot import Ballot
+from repro.errors import ProtocolError
+from repro.types import ProcessId
+
+
+# ------------------------------------------------------------------ messages
+@dataclass(frozen=True, slots=True)
+class P1a:
+    """Prepare: leader -> acceptors."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class P1b:
+    """Promise: acceptor -> leader. ``accepted`` is the acceptor's
+    highest-ballot accepted proposal, or None."""
+
+    ballot: Ballot
+    accepted: tuple[Ballot, Any] | None
+
+
+@dataclass(frozen=True, slots=True)
+class P2a:
+    """Accept request: leader -> acceptors."""
+
+    ballot: Ballot
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class P2b:
+    """Accepted: acceptor -> leader (and learners)."""
+
+    ballot: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class PNack:
+    """Rejection: the acceptor is promised to a higher ballot."""
+
+    promised: Ballot
+
+
+# --------------------------------------------------------------------- roles
+class PaxosAcceptor:
+    """One acceptor. ``promised`` and ``accepted`` are its stable state."""
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.promised: Ballot = Ballot.ZERO
+        self.accepted: tuple[Ballot, Any] | None = None
+
+    def on_prepare(self, msg: P1a) -> P1b | PNack:
+        if msg.ballot < self.promised:
+            return PNack(promised=self.promised)
+        self.promised = msg.ballot
+        return P1b(ballot=msg.ballot, accepted=self.accepted)
+
+    def on_accept(self, msg: P2a) -> P2b | PNack:
+        # "A process accepts any proposal with a ballot number no smaller
+        # than the ones it has already accepted" (§3.6 phrasing of the
+        # standard rule: ballot >= promised).
+        if msg.ballot < self.promised:
+            return PNack(promised=self.promised)
+        self.promised = msg.ballot
+        self.accepted = (msg.ballot, msg.value)
+        return P2b(ballot=msg.ballot)
+
+
+class PaxosProposer:
+    """One proposer attempt at one ballot.
+
+    Single-shot: to retry with a higher ballot, create a new proposer (the
+    stable ``promised``/``accepted`` state lives in the acceptors).
+    """
+
+    def __init__(self, pid: ProcessId, peers: Iterable[ProcessId], value: Any) -> None:
+        self.pid = pid
+        self.peers = tuple(peers)
+        if not self.peers:
+            raise ProtocolError("proposer needs at least one acceptor")
+        self.own_value = value
+        self.ballot: Ballot | None = None
+        self._promises: dict[ProcessId, P1b] = {}
+        self._accepts: set[ProcessId] = set()
+        self.proposing: Any = None
+        self.phase = "idle"   # idle -> prepare -> accept -> done
+        self.chosen: Any = None
+        self.preempted_by: Ballot | None = None
+
+    @property
+    def majority(self) -> int:
+        return len(self.peers) // 2 + 1
+
+    # --------------------------------------------------------------- driving
+    def start(self, ballot: Ballot) -> P1a:
+        if ballot.leader != self.pid:
+            raise ProtocolError(f"ballot {ballot} does not belong to {self.pid}")
+        self.ballot = ballot
+        self.phase = "prepare"
+        return P1a(ballot=ballot)
+
+    def on_promise(self, src: ProcessId, msg: P1b) -> P2a | None:
+        if self.phase != "prepare" or msg.ballot != self.ballot:
+            return None
+        self._promises[src] = msg
+        if len(self._promises) < self.majority:
+            return None
+        # Prepare phase complete: propose consistently with the existing
+        # proposal of highest ballot, if any (§3.2).
+        best: tuple[Ballot, Any] | None = None
+        for promise in self._promises.values():
+            if promise.accepted is not None:
+                if best is None or promise.accepted[0] > best[0]:
+                    best = promise.accepted
+        self.proposing = best[1] if best is not None else self.own_value
+        self.phase = "accept"
+        assert self.ballot is not None
+        return P2a(ballot=self.ballot, value=self.proposing)
+
+    def on_accepted(self, src: ProcessId, msg: P2b) -> bool:
+        """Returns True when the proposal is chosen."""
+        if self.phase != "accept" or msg.ballot != self.ballot:
+            return False
+        self._accepts.add(src)
+        if len(self._accepts) >= self.majority:
+            self.phase = "done"
+            self.chosen = self.proposing
+            return True
+        return False
+
+    def on_nack(self, src: ProcessId, msg: PNack) -> None:
+        if self.phase in ("prepare", "accept") and self.ballot is not None:
+            if msg.promised > self.ballot:
+                self.preempted_by = msg.promised
+                self.phase = "idle"
+
+
+class PaxosLearner:
+    """Learns the chosen value from acceptor P2b traffic.
+
+    A value is chosen once a majority of acceptors accepted the *same*
+    ballot. (Acceptors must copy learners on their P2b messages for this to
+    make progress; the test harness does.)
+    """
+
+    def __init__(self, peers: Iterable[ProcessId]) -> None:
+        self.peers = tuple(peers)
+        self._accepted: dict[Ballot, set[ProcessId]] = {}
+        self._values: dict[Ballot, Any] = {}
+        self.chosen: Any = None
+        self.chosen_ballot: Ballot | None = None
+
+    @property
+    def majority(self) -> int:
+        return len(self.peers) // 2 + 1
+
+    def on_accepted(self, src: ProcessId, ballot: Ballot, value: Any) -> bool:
+        """Feed one observed acceptance; returns True when a value becomes
+        (or already was) chosen."""
+        self._accepted.setdefault(ballot, set()).add(src)
+        self._values[ballot] = value
+        if len(self._accepted[ballot]) >= self.majority:
+            value = self._values[ballot]
+            if self.chosen_ballot is not None and self.chosen != value:
+                raise ProtocolError(
+                    f"two different values chosen: {self.chosen!r} at "
+                    f"{self.chosen_ballot}, {value!r} at {ballot}"
+                )
+            self.chosen = value
+            self.chosen_ballot = ballot
+            return True
+        return self.chosen_ballot is not None

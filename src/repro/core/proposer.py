@@ -1,0 +1,215 @@
+"""The leader's sequential proposal pipeline (§3.3), with batching.
+
+"The leader never tries to propose more than one proposal simultaneously.
+Although it can start executing the ith request, it will not propose the
+ith request and the corresponding state until the (i−1)th commits.
+Otherwise ... the leader generates a gap in the sequence of chosen
+proposals" — which would make the shipped states inconsistent.
+
+The pipeline therefore holds at most **one in-flight accept round** at a
+time. Within a round, every request that queued up while the previous
+round was in flight is executed in order and proposed as a batch of
+consecutive instances carried by a single
+:class:`repro.core.messages.AcceptBatch` — the paper's own recovery
+pattern ("one single message" for instances 88, 89 and 91) applied to the
+steady state. Per-acceptor atomic handling of the batch preserves the
+no-gaps invariant; see the AcceptBatch docstring.
+
+Queue items produce their proposal lazily (``prepare``): the leader
+executes a request only when its turn comes, so the state attached to
+instance *i* really is the state after executing requests 1..i.
+``prepare`` may also:
+
+* return :data:`SKIP` — the request was answered without consensus
+  (service error, duplicate);
+* return :data:`DEFER` — the item cannot run yet (waiting on locks, or on
+  its modeled execution time): the pipeline moves on and the item re-enters
+  via ``resubmit_front`` when ready. Reordering deferred items is safe —
+  the sequence order *is* whatever order the leader proposes;
+* call :meth:`SequentialProposer.pause` — the leader is busy executing
+  (models E > 0); batch gathering stops to preserve execution order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.ballot import Ballot, ProposalNumber
+from repro.core.messages import AcceptBatch, AcceptedBatch, Proposal
+from repro.types import InstanceId, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.replica import Replica
+
+#: Sentinel: the item resolved without needing a consensus instance.
+SKIP = object()
+#: Sentinel: the item is not ready; it will resubmit itself.
+DEFER = object()
+
+
+@dataclass(slots=True)
+class ProposalItem:
+    """One unit of work for the pipeline.
+
+    * ``prepare()`` — execute/build; returns a :class:`Proposal`, ``SKIP``
+      or ``DEFER``.
+    * ``on_committed(proposal, instance)`` — called once the proposal is
+      chosen; replies to the client and releases resources.
+    """
+
+    label: str
+    prepare: Callable[[], Any]
+    on_committed: Callable[[Proposal, InstanceId], None]
+
+
+@dataclass(slots=True)
+class _InFlight:
+    ballot: Ballot
+    batch: list[tuple[ProposalNumber, Proposal, ProposalItem]]
+    instances: tuple[InstanceId, ...]
+    acks: set[ProcessId] = field(default_factory=set)
+    timer: Any = None
+
+    def message(self) -> AcceptBatch:
+        return AcceptBatch(
+            ballot=self.ballot,
+            entries=tuple((pn.instance, proposal) for pn, proposal, _item in self.batch),
+        )
+
+
+class SequentialProposer:
+    """At most one accept round in flight; strictly increasing instances."""
+
+    def __init__(self, replica: "Replica", max_batch: int = 8) -> None:
+        self.replica = replica
+        self.max_batch = max_batch
+        self.queue: deque[ProposalItem] = deque()
+        self.inflight: _InFlight | None = None
+        self.next_instance: InstanceId = 1
+        self.active = False
+        self._paused = False
+        #: Instances committed through this proposer (stats).
+        self.committed = 0
+        #: Accept rounds sent (stats; committed/rounds = mean batch size).
+        self.rounds = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def begin(self, next_instance: InstanceId) -> None:
+        """Activate the pipeline (leadership established, recovery done)."""
+        self.active = True
+        self.next_instance = next_instance
+        self._pump()
+
+    def stop(self) -> None:
+        """Deactivate (step-down or crash). Queued and in-flight items are
+        dropped — clients retransmit and the new leader's recovery decides
+        the fate of anything already accepted somewhere."""
+        self.active = False
+        self._paused = False
+        if self.inflight is not None and self.inflight.timer is not None:
+            self.inflight.timer.cancel()
+        self.inflight = None
+        self.queue.clear()
+
+    def reset(self) -> None:
+        self.stop()
+        self.next_instance = 1
+
+    # -------------------------------------------------------------- queueing
+    def submit(self, item: ProposalItem) -> None:
+        self.queue.append(item)
+        self._pump()
+
+    def resubmit_front(self, item: ProposalItem) -> None:
+        """Re-enter a previously deferred item at the head of the queue."""
+        self.queue.appendleft(item)
+        self._pump()
+
+    def pause(self) -> None:
+        """Stop gathering (leader busy executing a request, E > 0). Must be
+        matched by :meth:`resume`."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+        self._pump()
+
+    @property
+    def depth(self) -> int:
+        inflight = len(self.inflight.batch) if self.inflight is not None else 0
+        return len(self.queue) + inflight
+
+    # --------------------------------------------------------------- pumping
+    def _pump(self) -> None:
+        replica = self.replica
+        if not self.active or self._paused or self.inflight is not None:
+            return
+        batch: list[tuple[ProposalNumber, Proposal, ProposalItem]] = []
+        while self.queue and len(batch) < self.max_batch and not self._paused:
+            item = self.queue.popleft()
+            outcome = item.prepare()
+            if outcome is SKIP or outcome is DEFER:
+                continue
+            assert isinstance(outcome, Proposal), f"prepare returned {outcome!r}"
+            assert replica.ballot is not None
+            instance = self.next_instance
+            self.next_instance += 1
+            pn = ProposalNumber(replica.ballot, instance)
+            # The leader is its own acceptor: accept locally, count itself.
+            replica.accept_locally(pn, outcome)
+            batch.append((pn, outcome, item))
+        if not batch:
+            return
+        assert replica.ballot is not None
+        flight = _InFlight(
+            ballot=replica.ballot,
+            batch=batch,
+            instances=tuple(pn.instance for pn, _p, _i in batch),
+            acks={replica.pid},
+        )
+        self.inflight = flight
+        self.rounds += 1
+        others = replica.others
+        if others:
+            replica.broadcast(others, flight.message())
+            flight.timer = replica.set_timer(
+                replica.config.accept_retry, self._retransmit, flight.instances
+            )
+        self._check_majority()
+
+    # ------------------------------------------------------------- responses
+    def on_accepted(self, src: ProcessId, msg: AcceptedBatch) -> None:
+        flight = self.inflight
+        if flight is None or msg.ballot != flight.ballot:
+            return  # stale ack from an earlier round or previous leadership
+        if not set(flight.instances).issubset(msg.instances):
+            return  # ack for a previous batch
+        flight.acks.add(src)
+        self._check_majority()
+
+    def _check_majority(self) -> None:
+        flight = self.inflight
+        if flight is None or len(flight.acks) < self.replica.config.majority:
+            return
+        if flight.timer is not None:
+            flight.timer.cancel()
+        self.inflight = None
+        self.committed += len(flight.batch)
+        self.replica.commit_batch_as_leader(flight.ballot, flight.batch)
+        self._pump()
+
+    def _retransmit(self, instances: tuple[InstanceId, ...]) -> None:
+        """Resend the in-flight batch to laggards ("if the leader fails to
+        receive the expected response ... it retransmits")."""
+        flight = self.inflight
+        if flight is None or flight.instances != instances or not self.active:
+            return
+        replica = self.replica
+        laggards = tuple(p for p in replica.others if p not in flight.acks)
+        if laggards:
+            replica.broadcast(laggards, flight.message())
+        flight.timer = replica.set_timer(
+            replica.config.accept_retry, self._retransmit, instances
+        )

@@ -1,0 +1,287 @@
+"""New-leader recovery (§3.3).
+
+When a new leader emerges it "executes the prepare phase of instances 88,
+89, and of all instances greater than 90" — i.e. the gaps in its chosen
+sequence plus the whole open tail — "by sending a single message to all the
+other replicas". Replicas answer with the accepted proposals they hold for
+that range, shipping the service state only once ("the replicas are only
+interested in the latest state"). The leader then "executes the accept
+phases ... by sending one single message" carrying every re-proposed
+request plus the latest state chosen and learned.
+
+This module implements that exchange, plus the retransmission and
+preemption (higher-ballot Nack) handling around it. The merge step relies
+on a structural invariant of the basic protocol: because every leader
+proposes instances strictly sequentially, any instance that has been
+*accepted* anywhere implies all lower instances are *chosen* somewhere in
+every majority — so the merged range can contain no unseeded holes. A hole
+would mean state was lost; we raise :class:`repro.errors.ProtocolError`
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.ballot import Ballot, ProposalNumber
+from repro.core.messages import (
+    AcceptBatch,
+    AcceptedBatch,
+    ChosenBatch,
+    Nack,
+    Prepare,
+    Promise,
+    PromiseEntry,
+    Proposal,
+)
+from repro.errors import ProtocolError
+from repro.types import InstanceId, ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.replica import Replica
+
+
+@dataclass(slots=True)
+class _PrepareRound:
+    ballot: Ballot
+    gaps: tuple[InstanceId, ...]
+    from_instance: InstanceId
+    promises: dict[ProcessId, Promise] = field(default_factory=dict)
+    timer: Any = None
+
+
+@dataclass(slots=True)
+class _AcceptRound:
+    ballot: Ballot
+    entries: tuple[tuple[InstanceId, Proposal], ...]
+    snapshot_instance: InstanceId
+    snapshot: Any
+    acks: set[ProcessId] = field(default_factory=set)
+    timer: Any = None
+
+
+class RecoveryCoordinator:
+    """Drives the prepare + accept rounds a new leader runs before serving."""
+
+    def __init__(self, replica: "Replica") -> None:
+        self.replica = replica
+        self._prepare: _PrepareRound | None = None
+        self._accept: _AcceptRound | None = None
+        #: Completed recoveries (stats).
+        self.recoveries = 0
+
+    @property
+    def in_progress(self) -> bool:
+        return self._prepare is not None or self._accept is not None
+
+    # --------------------------------------------------------------- prepare
+    def start(self, ballot: Ballot) -> None:
+        """Run the prepare phase for the log's gaps plus the open tail."""
+        replica = self.replica
+        self.cancel()
+        # Promise to ourselves first: the leader is also an acceptor.
+        replica.promise_locally(ballot)
+        log = replica.log
+        gaps = log.gaps()
+        from_instance = max(log.frontier, log.max_instance_chosen()) + 1
+        round_ = _PrepareRound(ballot=ballot, gaps=gaps, from_instance=from_instance)
+        self._prepare = round_
+        # Our own answer to our own Prepare.
+        round_.promises[replica.pid] = Promise(
+            ballot=ballot,
+            entries=log.promise_entries(gaps, from_instance),
+            chosen_frontier=log.frontier,
+            latest=replica.latest_state_for_promise(),
+        )
+        others = replica.others
+        if others:
+            message = Prepare(ballot=ballot, gaps=gaps, from_instance=from_instance)
+            replica.broadcast(others, message)
+            round_.timer = replica.set_timer(
+                replica.config.prepare_retry, self._retransmit_prepare
+            )
+        self._check_prepare_majority()
+
+    def on_promise(self, src: ProcessId, msg: Promise) -> None:
+        round_ = self._prepare
+        if round_ is None or msg.ballot != round_.ballot:
+            return
+        round_.promises[src] = msg
+        self._check_prepare_majority()
+
+    def on_nack(self, src: ProcessId, msg: Nack) -> None:
+        if self._prepare is None and self._accept is None:
+            return
+        self.replica.on_preempted(msg.promised)
+
+    def _retransmit_prepare(self) -> None:
+        round_ = self._prepare
+        if round_ is None:
+            return
+        replica = self.replica
+        laggards = tuple(p for p in replica.others if p not in round_.promises)
+        if laggards:
+            replica.broadcast(
+                laggards,
+                Prepare(
+                    ballot=round_.ballot,
+                    gaps=round_.gaps,
+                    from_instance=round_.from_instance,
+                ),
+            )
+        round_.timer = replica.set_timer(
+            replica.config.prepare_retry, self._retransmit_prepare
+        )
+
+    def _check_prepare_majority(self) -> None:
+        round_ = self._prepare
+        if round_ is None or len(round_.promises) < self.replica.config.majority:
+            return
+        if round_.timer is not None:
+            round_.timer.cancel()
+        self._prepare = None
+        self._merge_and_accept(round_)
+
+    # ----------------------------------------------------------------- merge
+    def _merge_and_accept(self, round_: _PrepareRound) -> None:
+        replica = self.replica
+
+        # 1. Adopt the most advanced snapshot among the quorum (and self).
+        best: tuple[InstanceId, Any] | None = None
+        for promise in round_.promises.values():
+            if promise.latest is not None:
+                if best is None or promise.latest[0] > best[0]:
+                    best = promise.latest
+        if best is not None and best[0] > replica.applied:
+            replica.install_snapshot(best[0], best[1])
+        base = replica.applied
+
+        # 2. Merge accepted entries: highest proposal number wins per instance.
+        merged: dict[InstanceId, PromiseEntry] = {}
+        for promise in round_.promises.values():
+            for entry in promise.entries:
+                instance = entry.pn.instance
+                if instance <= base:
+                    continue  # already covered by the adopted snapshot
+                current = merged.get(instance)
+                if current is None or entry.pn > current.pn:
+                    merged[instance] = entry
+
+        # 3. Instances the new leader already knows to be *chosen* are not
+        #    re-reported by Promises (the Prepare only asked about gaps and
+        #    the tail — the paper's example: 90 is known, 88/89/91 are not),
+        #    yet they must be in the re-proposed batch so backups missing
+        #    them catch up in the same single message. Re-proposing a
+        #    decided value at a higher ballot is always safe.
+        if merged:
+            top = max(merged)
+            for instance in range(base + 1, top + 1):
+                if instance not in merged:
+                    known = replica.log.chosen_value(instance)
+                    if known is not None:
+                        merged[instance] = PromiseEntry(
+                            pn=ProposalNumber(round_.ballot, instance), value=known
+                        )
+
+        # 4. The merged range must be contiguous above the adopted base
+        #    (sequential proposing guarantees it — see module docstring).
+        instances = sorted(merged)
+        for offset, instance in enumerate(instances, start=1):
+            if instance != base + offset:
+                raise ProtocolError(
+                    f"recovery found a hole: adopted base {base}, "
+                    f"but learned instances {instances}"
+                )
+
+        if not instances:
+            self._finish(round_.ballot, next_instance=base + 1)
+            return
+
+        # 5. Accept phase: one message with every re-proposed value plus the
+        #    latest state, so lagging replicas catch up in one step.
+        entries = tuple((i, merged[i].value) for i in instances)
+        accept = _AcceptRound(
+            ballot=round_.ballot,
+            entries=entries,
+            snapshot_instance=base,
+            snapshot=replica.latest_state_payload(),
+            acks={replica.pid},
+        )
+        self._accept = accept
+        for instance, value in entries:
+            replica.accept_locally(ProposalNumber(round_.ballot, instance), value)
+        others = replica.others
+        if others:
+            replica.broadcast(others, self._accept_message(accept))
+            accept.timer = replica.set_timer(
+                replica.config.prepare_retry, self._retransmit_accept
+            )
+        self._check_accept_majority()
+
+    def _accept_message(self, accept: _AcceptRound) -> AcceptBatch:
+        return AcceptBatch(
+            ballot=accept.ballot,
+            entries=accept.entries,
+            snapshot_instance=accept.snapshot_instance,
+            snapshot=accept.snapshot,
+        )
+
+    # ---------------------------------------------------------- accept phase
+    def on_accepted_batch(self, src: ProcessId, msg: AcceptedBatch) -> None:
+        accept = self._accept
+        if accept is None or msg.ballot != accept.ballot:
+            return
+        wanted = {instance for instance, _v in accept.entries}
+        if not wanted.issubset(msg.instances):
+            return
+        accept.acks.add(src)
+        self._check_accept_majority()
+
+    def _retransmit_accept(self) -> None:
+        accept = self._accept
+        if accept is None:
+            return
+        replica = self.replica
+        laggards = tuple(p for p in replica.others if p not in accept.acks)
+        if laggards:
+            replica.broadcast(laggards, self._accept_message(accept))
+        accept.timer = replica.set_timer(
+            replica.config.prepare_retry, self._retransmit_accept
+        )
+
+    def _check_accept_majority(self) -> None:
+        accept = self._accept
+        if accept is None or len(accept.acks) < self.replica.config.majority:
+            return
+        if accept.timer is not None:
+            accept.timer.cancel()
+        self._accept = None
+        replica = self.replica
+        for instance, value in accept.entries:
+            replica.choose(instance, value, accept.ballot)
+        others = replica.others
+        if others:
+            replica.broadcast(others, ChosenBatch(items=accept.entries, ballot=accept.ballot))
+        # Proactively answer the clients whose requests we just finished for
+        # the old leader (they are probably retransmitting by now).
+        for _instance, value in accept.entries:
+            replica.reply_for_recovered(value)
+        top = accept.entries[-1][0]
+        self._finish(accept.ballot, next_instance=top + 1)
+
+    def _finish(self, ballot: Ballot, next_instance: InstanceId) -> None:
+        self.recoveries += 1
+        self.replica.recovery_complete(next_instance)
+
+    # -------------------------------------------------------------- lifecycle
+    def cancel(self) -> None:
+        if self._prepare is not None and self._prepare.timer is not None:
+            self._prepare.timer.cancel()
+        if self._accept is not None and self._accept.timer is not None:
+            self._accept.timer.cancel()
+        self._prepare = None
+        self._accept = None
+
+    def reset(self) -> None:
+        self.cancel()

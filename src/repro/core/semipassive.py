@@ -1,0 +1,217 @@
+"""Semi-passive replication (§5 comparator, Défago-Schiper-Sergent).
+
+"Semi-passive replication, a variant of passive replication that can be
+implemented in the asynchronous system model without requiring an
+agreement on the primary ... uses the same idea of running consensus on
+both the command and the state update, but its practical implementation
+and performance remains uninvestigated."
+
+This module investigates it. Each client request runs one instance of
+Chandra-Toueg ♦S consensus (:mod:`repro.core.ctconsensus`) whose value is
+``<request, state update, reply>``; the *coordinator of the instance's
+current round* executes the request lazily — if it is suspected, the next
+round's coordinator executes instead (the DSS "lazy execution" idea, which
+is what removes the need for an agreed primary).
+
+The group driver below is a deterministic in-memory harness (not the DES):
+it exists to measure the protocol's *message pattern* and to demonstrate
+correctness under coordinator crashes. The quantitative §5 comparison:
+
+* semi-passive, per request: estimate -> propose -> ack -> decide =
+  **4 replica-to-replica delays** (plus client legs), every request —
+  the estimate round cannot be elided because there is no stable leader;
+* the paper's protocol: **2 delays** (accept -> accepted) with a stable
+  leader, degrading to a prepare round only across leader changes.
+
+``benchmarks/bench_semipassive.py`` prints the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.ctconsensus import (
+    CTAck,
+    CTDecide,
+    CTEstimate,
+    CTNack,
+    CTProcess,
+    CTPropose,
+)
+from repro.errors import ProtocolError
+from repro.services.base import ExecutionContext, Service
+from repro.types import ProcessId
+
+import random
+
+
+#: The value decided per instance: (op, delta, reply).
+@dataclass(frozen=True, slots=True)
+class SPDecision:
+    op: Any
+    delta: Any
+    reply: Any
+
+
+@dataclass
+class SPStats:
+    """Per-run message accounting."""
+
+    messages: int = 0
+    delays_per_request: list[int] = field(default_factory=list)
+    executions: int = 0          # total (incl. redundant lazy re-executions)
+    rounds: int = 0
+
+
+class SemiPassiveGroup:
+    """A deterministic in-memory semi-passive replication group.
+
+    ``submit(op)`` drives one full consensus instance synchronously and
+    returns the reply. ``crashed`` processes take no steps; crashing the
+    round coordinator exercises the suspicion/rotation path.
+    """
+
+    def __init__(
+        self,
+        peers: tuple[ProcessId, ...],
+        service_factory: Callable[[], Service],
+        seed: int = 0,
+    ) -> None:
+        self.peers = peers
+        self.services: dict[ProcessId, Service] = {
+            pid: service_factory() for pid in peers
+        }
+        self._rngs = {pid: random.Random(f"{seed}/{pid}") for pid in peers}
+        self.crashed: set[ProcessId] = set()
+        self.stats = SPStats()
+        self.decisions: list[SPDecision] = []
+
+    @property
+    def n(self) -> int:
+        return len(self.peers)
+
+    def crash(self, pid: ProcessId) -> None:
+        self.crashed.add(pid)
+
+    def recover(self, pid: ProcessId) -> None:
+        # DSS model: a recovered process re-joins with the group state;
+        # here we resync its service copy from a correct peer.
+        self.crashed.discard(pid)
+        donor = next(pid_ for pid_ in self.peers if pid_ not in self.crashed)
+        self.services[pid].restore(self.services[donor].snapshot())
+
+    # --------------------------------------------------------------- driving
+    def submit(self, op: Any) -> Any:
+        """Run one consensus instance on ``<op, update>``; apply everywhere."""
+        alive = [pid for pid in self.peers if pid not in self.crashed]
+        if len(alive) < self.n // 2 + 1:
+            raise ProtocolError("no majority of correct processes")
+
+        # Lazy execution (DSS): nobody executes up front. The coordinator of
+        # whichever round first assembles a majority of estimates executes
+        # the request *then*, via the propose hook — unless a previous round
+        # already locked a value, which the hook must pass through.
+        processes: dict[ProcessId, CTProcess] = {}
+
+        def lazy_execute(pid: ProcessId):
+            def hook(value):
+                if value is not None:
+                    return value  # locked by an earlier round: must stick
+                service = self.services[pid]
+                ctx = ExecutionContext(rng=self._rngs[pid], now=0.0)
+                snapshot = service.snapshot()
+                result = service.execute(op, ctx)
+                service.restore(snapshot)  # tentative until decided
+                self.stats.executions += 1
+                return SPDecision(op=op, delta=result.delta, reply=result.reply)
+
+            return hook
+
+        for pid in self.peers:
+            processes[pid] = CTProcess(
+                pid, self.peers, value=None, propose_hook=lazy_execute(pid)
+            )
+
+        delays = self._run_instance(processes, alive)
+        decision = processes[alive[0]].decision
+        assert isinstance(decision, SPDecision)
+        self.decisions.append(decision)
+        for pid in alive:
+            self.services[pid].apply_delta(decision.delta)
+        self.stats.delays_per_request.append(delays)
+        return decision.reply
+
+    def _run_instance(
+        self,
+        processes: dict[ProcessId, CTProcess],
+        alive: list[ProcessId],
+    ) -> int:
+        """Synchronous round-by-round execution; returns one-way delays used."""
+        inbox: list[tuple[ProcessId, ProcessId, Any]] = []
+        delays = 0
+
+        def post(src: ProcessId, dst: ProcessId | None, msg: Any) -> None:
+            targets = processes.keys() if dst is None else [dst]
+            for target in targets:
+                if target not in self.crashed:
+                    inbox.append((src, target, msg))
+                self.stats.messages += 1
+
+        for pid in alive:
+            for dst, msg in processes[pid].start():
+                post(pid, dst, msg)
+
+        for round_ in range(2 * self.n):  # bounded rotation
+            self.stats.rounds += 1
+            coordinator = processes[alive[0]].coordinator_of(round_)
+            if coordinator in self.crashed:
+                # ♦S eventually suspects the crashed coordinator everywhere;
+                # the suspicion exchange costs one extra delay.
+                delays += 1
+                for pid in alive:
+                    for dst, msg in processes[pid].suspect_coordinator():
+                        post(pid, dst, msg)
+                self._drain(processes, inbox)
+                continue
+            # Phases 1-4 of the round: estimate, propose, ack, decide.
+            delays += 4
+            self._drain(processes, inbox)
+            if processes[alive[0]].decided:
+                return delays
+        raise ProtocolError("consensus did not terminate within the round bound")
+
+    def _drain(
+        self,
+        processes: dict[ProcessId, CTProcess],
+        inbox: list[tuple[ProcessId, ProcessId, Any]],
+    ) -> None:
+        while inbox:
+            src, dst, msg = inbox.pop(0)
+            process = processes[dst]
+            if isinstance(msg, CTEstimate):
+                out = process.on_estimate(src, msg)
+            elif isinstance(msg, CTPropose):
+                out = process.on_propose(src, msg)
+            elif isinstance(msg, CTAck):
+                out = process.on_ack(src, msg)
+            elif isinstance(msg, CTNack):
+                out = process.on_nack(src, msg)
+            elif isinstance(msg, CTDecide):
+                out = process.on_decide(src, msg)
+            else:  # pragma: no cover
+                raise AssertionError(msg)
+            for dst2, msg2 in out:
+                targets = processes.keys() if dst2 is None else [dst2]
+                for target in targets:
+                    self.stats.messages += 1
+                    if target not in self.crashed:
+                        inbox.append((dst, target, msg2))
+
+    # ---------------------------------------------------------------- queries
+    def fingerprints(self) -> dict[ProcessId, Any]:
+        return {
+            pid: self.services[pid].state_fingerprint()
+            for pid in self.peers
+            if pid not in self.crashed
+        }

@@ -1,0 +1,73 @@
+"""The elector contract.
+
+An elector is a *component of a replica*, not a separate process: it is
+attached to its host replica, may exchange its own messages through the
+host's environment, and notifies the host when its local view of the
+leader changes. Different replicas may transiently disagree — that is the
+nature of Ω in an asynchronous system; ballots protect safety, the elector
+only provides liveness and stability.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Protocol
+
+from repro.types import ProcessId
+
+
+class ElectorHost(Protocol):
+    """What an elector needs from its replica."""
+
+    pid: ProcessId
+
+    @property
+    def now(self) -> float: ...
+
+    def send(self, dst: ProcessId, msg: Any) -> None: ...
+
+    def broadcast(self, dsts: Any, msg: Any) -> None: ...
+
+    def set_timer(self, delay: float, fn: Any, *args: Any) -> Any: ...
+
+    def leader_changed(self, new_leader: ProcessId | None) -> None:
+        """Called by the elector when its local leader view changes."""
+        ...
+
+
+class LeaderElector(abc.ABC):
+    """Base class for leader electors."""
+
+    def __init__(self) -> None:
+        self.host: ElectorHost | None = None
+        self.peers: tuple[ProcessId, ...] = ()
+
+    def attach(self, host: ElectorHost, peers: tuple[ProcessId, ...]) -> None:
+        """Bind to the host replica. ``peers`` includes the host itself."""
+        self.host = host
+        self.peers = peers
+
+    # ------------------------------------------------------------- lifecycle
+    def on_start(self) -> None:
+        """Called when the host starts."""
+
+    def on_crash(self) -> None:
+        """Called when the host crashes."""
+
+    def on_recover(self) -> None:
+        """Called when the host recovers."""
+
+    def on_message(self, src: ProcessId, msg: Any) -> bool:
+        """Offer a delivered message; return True if it was an election
+        message (consumed), False to let the replica handle it."""
+        return False
+
+    # --------------------------------------------------------------- queries
+    @abc.abstractmethod
+    def current_leader(self) -> ProcessId | None:
+        """This replica's current view of who the leader is (may be stale)."""
+
+    def is_leader(self) -> bool:
+        """Convenience: does this replica currently believe it leads?"""
+        assert self.host is not None
+        return self.current_leader() == self.host.pid

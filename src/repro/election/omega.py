@@ -1,0 +1,148 @@
+"""Ω-style heartbeat leader election with leader stability (§3.6).
+
+Every replica periodically broadcasts a heartbeat carrying its current
+leader view. Each replica tracks whom it has heard from recently; a process
+is *suspected* once no heartbeat arrived within ``suspect_timeout``. The
+local choice is:
+
+* keep the current leader while it is unsuspected (**stability** — the
+  §3.6 requirement, after Malkhi, Oprea & Zhou [22]: a working leader is
+  not deposed just because a smaller-id process comes back);
+* a process that has no leader yet (boot or recovery) first waits one
+  ``suspect_timeout`` *grace period*, during which it adopts any
+  unsuspected incumbent's self-claim — this is what makes a recovered
+  small-id process defer to the working leader instead of electing itself;
+* if the grace period passes with no incumbent heard, elect the
+  smallest-id unsuspected process.
+
+This implements Ω under the usual partial-synchrony assumption: once
+message delays stabilize below ``suspect_timeout``, all correct replicas
+converge on the same (correct) leader forever. Before that, views may
+disagree — ballot numbers in the replication protocol keep that safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.election.base import LeaderElector
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """I am alive; ``claims`` is my current leader view (None if undecided).
+
+    Election traffic, invisible to the replication protocol.
+    """
+
+    sender: ProcessId
+    claims: ProcessId | None = None
+
+
+class OmegaElector(LeaderElector):
+    """Heartbeat-based eventual leader election with stability."""
+
+    def __init__(
+        self,
+        heartbeat_interval: float = 0.05,
+        suspect_timeout: float = 0.25,
+    ) -> None:
+        super().__init__()
+        if suspect_timeout <= heartbeat_interval:
+            raise ValueError("suspect_timeout must exceed heartbeat_interval")
+        self.heartbeat_interval = heartbeat_interval
+        self.suspect_timeout = suspect_timeout
+        self._last_heard: dict[ProcessId, float] = {}
+        self._leader: ProcessId | None = None
+        self._grace_until = 0.0
+        self._running = False
+        #: Local leader-view changes (stats for the §3.6 experiments).
+        self.switches = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def on_start(self) -> None:
+        assert self.host is not None
+        self._running = True
+        self._leader = None
+        now = self.host.now
+        for peer in self.peers:
+            self._last_heard[peer] = now
+        # Grace period: listen for an incumbent before electing anyone.
+        self._grace_until = now + self.suspect_timeout
+        self._beat()
+        self._tick()
+
+    def on_crash(self) -> None:
+        self._running = False
+        self._leader = None
+
+    def on_recover(self) -> None:
+        self.on_start()
+
+    # -------------------------------------------------------------- heartbeat
+    def _beat(self) -> None:
+        if not self._running:
+            return
+        assert self.host is not None
+        others = tuple(p for p in self.peers if p != self.host.pid)
+        self.host.broadcast(others, Heartbeat(sender=self.host.pid, claims=self._leader))
+        self.host.set_timer(self.heartbeat_interval, self._beat)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        assert self.host is not None
+        self._evaluate()
+        self.host.set_timer(self.heartbeat_interval, self._tick)
+
+    def on_message(self, src: ProcessId, msg: Any) -> bool:
+        if not isinstance(msg, Heartbeat):
+            return False
+        if not self._running:
+            return True
+        assert self.host is not None
+        self._last_heard[msg.sender] = self.host.now
+        if msg.claims == msg.sender:
+            # An incumbent asserting leadership: defer to it if we have no
+            # working leader of our own.
+            unsuspected = self._unsuspected()
+            if msg.sender in unsuspected and (
+                self._leader is None or self._leader not in unsuspected
+            ):
+                self._set_leader(msg.sender)
+        self._evaluate()
+        return True
+
+    # -------------------------------------------------------------- election
+    def _unsuspected(self) -> list[ProcessId]:
+        assert self.host is not None
+        now = self.host.now
+        alive = [
+            pid
+            for pid in self.peers
+            if pid == self.host.pid
+            or now - self._last_heard.get(pid, -1e18) <= self.suspect_timeout
+        ]
+        return sorted(alive)
+
+    def _evaluate(self) -> None:
+        assert self.host is not None
+        alive = self._unsuspected()
+        if self._leader in alive:
+            return  # stability: keep a working leader
+        if self._leader is None and self.host.now < self._grace_until:
+            return  # still listening for an incumbent
+        self._set_leader(alive[0] if alive else None)
+
+    def _set_leader(self, leader: ProcessId | None) -> None:
+        if leader == self._leader:
+            return
+        assert self.host is not None
+        self._leader = leader
+        self.switches += 1
+        self.host.leader_changed(leader)
+
+    def current_leader(self) -> ProcessId | None:
+        return self._leader

@@ -1,0 +1,81 @@
+"""Trivial electors for benchmarks and tests.
+
+The paper's measurements are taken in the failure-free common case with a
+single stable leader ("we make the usual assumption that the common case is
+the one of no suspicions and no failures"). :class:`StaticElector` models
+exactly that. :class:`ManualElector` lets tests and fault schedules force a
+leader switch at a precise simulated time.
+"""
+
+from __future__ import annotations
+
+from repro.election.base import LeaderElector
+from repro.types import ProcessId
+
+
+class StaticElector(LeaderElector):
+    """A fixed, never-changing leader (the benchmark common case)."""
+
+    def __init__(self, leader: ProcessId) -> None:
+        super().__init__()
+        self._leader = leader
+
+    def on_start(self) -> None:
+        assert self.host is not None
+        self.host.leader_changed(self._leader)
+
+    def on_recover(self) -> None:
+        # Volatile leadership state died with the crash; re-announce.
+        self.on_start()
+
+    def current_leader(self) -> ProcessId | None:
+        return self._leader
+
+
+class ManualElector(LeaderElector):
+    """A test-controlled elector.
+
+    The controller (test or fault schedule) calls :meth:`set_leader` on each
+    replica's elector instance — typically through
+    :meth:`ManualElectorGroup.set_leader`, which flips all replicas at once.
+    """
+
+    def __init__(self, initial: ProcessId | None = None) -> None:
+        super().__init__()
+        self._leader = initial
+
+    def on_start(self) -> None:
+        assert self.host is not None
+        if self._leader is not None:
+            self.host.leader_changed(self._leader)
+
+    def on_recover(self) -> None:
+        self.on_start()
+
+    def set_leader(self, leader: ProcessId | None) -> None:
+        if leader == self._leader:
+            return
+        self._leader = leader
+        if self.host is not None:
+            self.host.leader_changed(leader)
+
+    def current_leader(self) -> ProcessId | None:
+        return self._leader
+
+
+class ManualElectorGroup:
+    """Convenience wrapper: one ManualElector per replica, switched together."""
+
+    def __init__(self, initial: ProcessId | None = None) -> None:
+        self._initial = initial
+        self.electors: dict[ProcessId, ManualElector] = {}
+
+    def elector_for(self, pid: ProcessId) -> ManualElector:
+        elector = ManualElector(self._initial)
+        self.electors[pid] = elector
+        return elector
+
+    def set_leader(self, leader: ProcessId | None) -> None:
+        """Flip every replica's view at once (an idealized instant election)."""
+        for elector in self.electors.values():
+            elector.set_leader(leader)

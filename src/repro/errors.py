@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class TransportError(ReproError):
+    """A transport-level failure (unknown destination, closed transport)."""
+
+
+class ProtocolError(ReproError):
+    """A replication-protocol invariant was violated.
+
+    This indicates a bug in the protocol implementation (or deliberately
+    adversarial test input), never a normal runtime condition such as a
+    crash or message delay.
+    """
+
+
+class NotLeaderError(ProtocolError):
+    """An operation that only the leader may perform was attempted elsewhere."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-related failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (conflict, leader switch, or client abort)."""
+
+
+class LockConflict(TransactionError):
+    """A lock request conflicts with a lock held by another transaction."""
+
+
+class ServiceError(ReproError):
+    """An application service rejected or failed to execute a request."""

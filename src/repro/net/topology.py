@@ -1,0 +1,95 @@
+"""Site-level topology: which process runs where, and inter-site links.
+
+The paper's deployments are naturally described at site granularity
+(Sysnet, Princeton, Berkeley, UIUC, Utah, Texas, Oregon): latency between
+two processes is a property of their *sites*. A :class:`Topology` maps
+process ids to sites and (site, site) pairs to :class:`LinkSpec`s.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.net.latency import ConstantLatency
+from repro.net.link import LinkSpec
+from repro.types import ProcessId
+
+#: Delivery to self: effectively instantaneous (in-process queue).
+LOOPBACK = LinkSpec(latency=ConstantLatency(0.0), jitter_reorder=False)
+
+
+class Topology:
+    """Process placement plus a site-to-site link map.
+
+    Lookup precedence for ``link_spec(src, dst)``:
+
+    1. the loopback spec when ``src == dst`` (same process);
+    2. an explicit (site_src, site_dst) entry;
+    3. the intra-site spec when both processes share a site;
+    4. the default spec.
+    """
+
+    def __init__(self, default: LinkSpec | None = None, loopback: LinkSpec = LOOPBACK) -> None:
+        self._default = default
+        self._loopback = loopback
+        self._site_of: dict[ProcessId, str] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._intra: dict[str, LinkSpec] = {}
+
+    # -------------------------------------------------------------- building
+    def place(self, pid: ProcessId, site: str) -> "Topology":
+        """Assign ``pid`` to ``site`` (re-placing is allowed)."""
+        self._site_of[pid] = site
+        return self
+
+    def place_all(self, pids: list[ProcessId], site: str) -> "Topology":
+        for pid in pids:
+            self.place(pid, site)
+        return self
+
+    def set_link(self, a: str, b: str, spec: LinkSpec, symmetric: bool = True) -> "Topology":
+        """Set the link spec between sites ``a`` and ``b``."""
+        self._links[(a, b)] = spec
+        if symmetric:
+            self._links[(b, a)] = spec
+        return self
+
+    def set_intra(self, site: str, spec: LinkSpec) -> "Topology":
+        """Set the spec for links between two processes at the same site."""
+        self._intra[site] = spec
+        return self
+
+    # --------------------------------------------------------------- queries
+    def site_of(self, pid: ProcessId) -> str:
+        try:
+            return self._site_of[pid]
+        except KeyError:
+            raise ConfigError(f"process {pid!r} has not been placed at any site") from None
+
+    @property
+    def sites(self) -> set[str]:
+        return set(self._site_of.values())
+
+    def processes_at(self, site: str) -> list[ProcessId]:
+        return [pid for pid, s in self._site_of.items() if s == site]
+
+    def link_spec(self, src: ProcessId, dst: ProcessId) -> LinkSpec:
+        if src == dst:
+            return self._loopback
+        site_src, site_dst = self.site_of(src), self.site_of(dst)
+        spec = self._links.get((site_src, site_dst))
+        if spec is not None:
+            return spec
+        if site_src == site_dst:
+            intra = self._intra.get(site_src)
+            if intra is not None:
+                return intra
+        if self._default is not None:
+            return self._default
+        raise ConfigError(
+            f"no link configured between sites {site_src!r} and {site_dst!r} "
+            f"(for {src!r} -> {dst!r}) and no default"
+        )
+
+    def mean_latency(self, src: ProcessId, dst: ProcessId) -> float:
+        """Expected one-way latency between two processes (analytic model)."""
+        return self.link_spec(src, dst).latency.mean

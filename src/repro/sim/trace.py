@@ -1,0 +1,77 @@
+"""Structured event tracing for simulation runs.
+
+Tracing is opt-in (it allocates one record per event) and is used by tests
+to assert on protocol behaviour — e.g. "no Accept message was sent for a
+read request under X-Paxos" — and by humans to debug schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    ``kind`` is a short tag: ``send``, ``deliver``, ``drop``, ``crash``,
+    ``recover``, ``timer``, or anything a process chooses to emit via
+    :meth:`TraceRecorder.emit`.
+    """
+
+    time: float
+    kind: str
+    src: ProcessId | None
+    dst: ProcessId | None
+    detail: Any = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = f"{self.src}->{self.dst}" if self.src or self.dst else ""
+        return f"[{self.time * 1e3:10.4f}ms] {self.kind:8s} {arrow} {self.detail!r}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records.
+
+    A predicate may be supplied to record only a subset (keeps long
+    throughput runs cheap while still tracing, say, only crashes).
+    """
+
+    def __init__(self, predicate: Callable[[TraceEvent], bool] | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self._predicate = predicate
+
+    def emit(
+        self,
+        time: float,
+        kind: str,
+        src: ProcessId | None = None,
+        dst: ProcessId | None = None,
+        detail: Any = None,
+    ) -> None:
+        event = TraceEvent(time=time, kind=kind, src=src, dst=dst, detail=detail)
+        if self._predicate is None or self._predicate(event):
+            self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All recorded events with the given kind tag."""
+        return [e for e in self.events if e.kind == kind]
+
+    def messages(self, payload_type: type | None = None) -> list[TraceEvent]:
+        """All ``send`` events, optionally filtered by payload type."""
+        sends = self.of_kind("send")
+        if payload_type is None:
+            return sends
+        return [e for e in sends if isinstance(e.detail, payload_type)]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        return "\n".join(str(e) for e in self.events)

@@ -1,0 +1,249 @@
+"""The simulation world: processes + network + kernel + fault injection.
+
+The world implements the :class:`repro.sim.process.Env` contract on top of
+the DES kernel. The message path models exactly the costs the paper's
+evaluation measures:
+
+1. the sender's CPU serializes outbound messages
+   (``cpu.send_completion``) — the leader's outbound fan-out is real work;
+2. the network adds per-link latency (and may duplicate or drop, if the
+   link is configured adversarially);
+3. the receiver's CPU serializes inbound handling
+   (``cpu.recv_completion``) — this queueing is what saturates throughput.
+
+Crash semantics follow the paper's model: a crashed process executes no
+steps; messages addressed to it while down are lost (its connections are
+gone); state in ``process.stable`` survives; on recovery the process
+rebuilds volatile state. An *epoch* counter invalidates timers and queued
+deliveries from before the crash.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Protocol as TypingProtocol
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuModel, CpuProfile
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.process import Env, Process, TimerHandle
+from repro.sim.trace import TraceRecorder
+from repro.types import ProcessId
+
+
+class NetworkLike(TypingProtocol):
+    """What the world needs from a network: per-copy delivery delays.
+
+    ``depart`` is the absolute time the message leaves the sender. The
+    return value holds one delay (relative to ``depart``) per delivered
+    copy: ``()`` means the message is dropped, two entries mean it is
+    duplicated.
+    """
+
+    def delays(self, src: ProcessId, dst: ProcessId, depart: float) -> tuple[float, ...]: ...
+
+
+class ZeroLatencyNetwork:
+    """Degenerate network: everything arrives instantly. Used in unit tests."""
+
+    def delays(self, src: ProcessId, dst: ProcessId, depart: float) -> tuple[float, ...]:
+        return (0.0,)
+
+
+class _SimTimer(TimerHandle):
+    __slots__ = ("_event", "_valid")
+
+    def __init__(self, event: EventHandle) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+
+class _SimEnv(Env):
+    """Per-process facade over the world."""
+
+    __slots__ = ("_world", "_pid", "_rng")
+
+    def __init__(self, world: "World", pid: ProcessId) -> None:
+        self._world = world
+        self._pid = pid
+        self._rng = world.kernel.rng(f"proc/{pid}")
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def now(self) -> float:
+        return self._world.kernel.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def send(self, dst: ProcessId, msg: Any) -> None:
+        self._world._send(self._pid, dst, msg)
+
+    def set_timer(self, delay: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
+        return self._world._set_timer(self._pid, delay, fn, *args)
+
+
+class World:
+    """Owns every process in one simulated deployment.
+
+    Typical use::
+
+        kernel = Kernel(seed=1)
+        world = World(kernel, network)
+        world.add(replica, cpu=CpuProfile(send_cost=3e-6, recv_cost=3e-6))
+        world.add(client)
+        world.start()
+        kernel.run(until=10.0)
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        network: NetworkLike | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.network: NetworkLike = network if network is not None else ZeroLatencyNetwork()
+        self.trace = trace
+        self._processes: dict[ProcessId, Process] = {}
+        self._cpus: dict[ProcessId, CpuModel] = {}
+        self._epochs: dict[ProcessId, int] = {}
+        self._started = False
+
+    # -------------------------------------------------------------- registry
+    def add(self, process: Process, cpu: CpuProfile | None = None) -> Process:
+        """Register a process; returns it for chaining."""
+        if process.pid in self._processes:
+            raise SimulationError(f"duplicate process id {process.pid!r}")
+        self._processes[process.pid] = process
+        self._cpus[process.pid] = CpuModel(profile=cpu if cpu is not None else CpuProfile())
+        self._epochs[process.pid] = 0
+        process.bind(_SimEnv(self, process.pid))
+        if self._started and process.alive:
+            # late registration: start it on the next tick
+            self.kernel.schedule(0.0, self._start_one, process.pid)
+        return process
+
+    def process(self, pid: ProcessId) -> Process:
+        return self._processes[pid]
+
+    def cpu(self, pid: ProcessId) -> CpuModel:
+        return self._cpus[pid]
+
+    @property
+    def pids(self) -> list[ProcessId]:
+        return list(self._processes)
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every registered, alive process."""
+        if self._started:
+            raise SimulationError("world already started")
+        self._started = True
+        for pid in list(self._processes):
+            self._start_one(pid)
+
+    def _start_one(self, pid: ProcessId) -> None:
+        process = self._processes[pid]
+        if process.alive:
+            process.on_start()
+
+    # ------------------------------------------------------------- messaging
+    def _send(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+        sender = self._processes.get(src)
+        if sender is None or not sender.alive:
+            return  # a crashed process executes no steps
+        if dst not in self._processes:
+            raise SimulationError(f"{src} sent to unknown process {dst!r}")
+        if self.trace is not None:
+            self.trace.emit(self.kernel.now, "send", src, dst, msg)
+        depart = self._cpus[src].send_completion(self.kernel.now)
+        copies = self.network.delays(src, dst, depart)
+        if not copies and self.trace is not None:
+            self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+        for delay in copies:
+            self.kernel.schedule_at(depart + delay, self._arrive, src, dst, msg)
+
+    def _arrive(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+        receiver = self._processes[dst]
+        if not receiver.alive:
+            if self.trace is not None:
+                self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+            return
+        epoch = self._epochs[dst]
+        completion = self._cpus[dst].recv_completion(self.kernel.now)
+        self.kernel.schedule_at(completion, self._handle, src, dst, msg, epoch)
+
+    def _handle(self, src: ProcessId, dst: ProcessId, msg: Any, epoch: int) -> None:
+        receiver = self._processes[dst]
+        if not receiver.alive or self._epochs[dst] != epoch:
+            if self.trace is not None:
+                self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+            return
+        if self.trace is not None:
+            self.trace.emit(self.kernel.now, "deliver", src, dst, msg)
+        receiver.on_message(src, msg)
+
+    # ----------------------------------------------------------------- timers
+    def _set_timer(
+        self, pid: ProcessId, delay: float, fn: Callable[..., None], *args: Any
+    ) -> TimerHandle:
+        epoch = self._epochs[pid]
+
+        def fire() -> None:
+            process = self._processes[pid]
+            if process.alive and self._epochs[pid] == epoch:
+                if self.trace is not None:
+                    self.trace.emit(self.kernel.now, "timer", pid, None, fn.__name__)
+                fn(*args)
+
+        return _SimTimer(self.kernel.schedule(delay, fire))
+
+    # ------------------------------------------------------------ fault hooks
+    def crash(self, pid: ProcessId) -> None:
+        """Crash ``pid``: volatile state and pending timers/deliveries die."""
+        process = self._processes[pid]
+        if not process.alive:
+            return
+        process.alive = False
+        self._epochs[pid] += 1
+        self._cpus[pid].reset()
+        if self.trace is not None:
+            self.trace.emit(self.kernel.now, "crash", pid, None)
+        process.on_crash()
+
+    def recover(self, pid: ProcessId) -> None:
+        """Recover ``pid``; it rebuilds volatile state in ``on_recover``."""
+        process = self._processes[pid]
+        if process.alive:
+            return
+        process.alive = True
+        if self.trace is not None:
+            self.trace.emit(self.kernel.now, "recover", pid, None)
+        process.on_recover()
+
+    def schedule_crash(self, pid: ProcessId, at: float) -> EventHandle:
+        """Schedule a crash at absolute time ``at``."""
+        return self.kernel.schedule_at(at, self.crash, pid)
+
+    def schedule_recover(self, pid: ProcessId, at: float) -> EventHandle:
+        """Schedule a recovery at absolute time ``at``."""
+        return self.kernel.schedule_at(at, self.recover, pid)
+
+    def alive_pids(self) -> list[ProcessId]:
+        return [pid for pid, p in self._processes.items() if p.alive]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<World processes={len(self._processes)} t={self.kernel.now:.6f}s>"
+
+
+__all__ = ["World", "NetworkLike", "ZeroLatencyNetwork"]

@@ -1,0 +1,20 @@
+"""Real (non-simulated) runtimes for the protocol stack.
+
+The protocol code is written against :class:`repro.sim.process.Env`, so the
+same :class:`repro.core.replica.Replica` and :class:`repro.client.Client`
+objects run unmodified on:
+
+* :class:`repro.transport.local.LocalRuntime` — wall-clock time, a
+  scheduler thread, in-memory delivery (with optional injected latency);
+* :class:`repro.transport.tcp.TcpRuntime` — real TCP sockets on localhost
+  with length-prefixed pickled frames, as in the paper's prototype.
+
+These exist to demonstrate that the protocol layer is simulator-agnostic;
+all *measurements* come from the simulator, where time is controlled.
+"""
+
+from repro.transport.codec import decode_frames, encode_frame
+from repro.transport.local import LocalRuntime
+from repro.transport.tcp import TcpRuntime
+
+__all__ = ["LocalRuntime", "TcpRuntime", "decode_frames", "encode_frame"]

@@ -1,0 +1,62 @@
+"""Length-prefixed pickle framing for the TCP transport.
+
+Frame format: 4-byte big-endian payload length, then the pickled message.
+Pickle is acceptable here because both endpoints are this library's own
+processes on one machine (the paper's prototype likewise used its own
+binary format over TCP); this is not a security boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterator
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames larger than this (corrupt stream guard), 64 MiB.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise ValueError(f"message of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed bytes, iterate complete messages."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[Any]:
+        """Add received bytes; yield every message completed by them."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise ValueError(f"frame length {length} exceeds MAX_FRAME")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield pickle.loads(payload)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def decode_frames(data: bytes) -> list[Any]:
+    """Decode a byte string containing zero or more complete frames."""
+    decoder = FrameDecoder()
+    messages = list(decoder.feed(data))
+    if decoder.pending_bytes:
+        raise ValueError(f"{decoder.pending_bytes} trailing bytes after last frame")
+    return messages

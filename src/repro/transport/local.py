@@ -1,0 +1,179 @@
+"""Wall-clock runtime: a scheduler thread delivering in-memory messages.
+
+One dedicated scheduler thread owns a priority queue of pending events
+(message deliveries and timers) keyed by wall-clock deadline. Handlers run
+*on the scheduler thread*, so each process's handlers are serialized — the
+same execution model as the simulator, just against real time. Latency can
+be injected per message via an optional :class:`LatencyModel`, which lets
+the integration tests exercise timeout/retransmission paths for real.
+
+Use :meth:`LocalRuntime.run_until` from the main thread to block until a
+condition holds (polling), then :meth:`LocalRuntime.shutdown`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.net.latency import LatencyModel
+from repro.sim.process import Env, Process, TimerHandle
+from repro.types import ProcessId
+
+
+class _LocalTimer(TimerHandle):
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+
+class _LocalEnv(Env):
+    __slots__ = ("_runtime", "_pid", "_rng")
+
+    def __init__(self, runtime: "LocalRuntime", pid: ProcessId) -> None:
+        self._runtime = runtime
+        self._pid = pid
+        self._rng = random.Random(f"{runtime.seed}/proc/{pid}")
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def now(self) -> float:
+        return self._runtime.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def send(self, dst: ProcessId, msg: Any) -> None:
+        self._runtime._send(self._pid, dst, msg)
+
+    def set_timer(self, delay: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
+        return self._runtime._set_timer(self._pid, delay, fn, args)
+
+
+class LocalRuntime:
+    """Threaded wall-clock runtime for :class:`repro.sim.process.Process`es."""
+
+    def __init__(self, latency: LatencyModel | None = None, seed: int = 0) -> None:
+        self.latency = latency
+        self.seed = seed
+        self._t0 = time.monotonic()
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Condition()
+        self._processes: dict[ProcessId, Process] = {}
+        self._rng = random.Random(f"{seed}/latency")
+        self._stopping = False
+        self._thread = threading.Thread(target=self._loop, name="repro-local-runtime", daemon=True)
+        self._started = False
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def add(self, process: Process) -> Process:
+        if self._started:
+            raise TransportError("add processes before start()")
+        if process.pid in self._processes:
+            raise TransportError(f"duplicate process id {process.pid!r}")
+        self._processes[process.pid] = process
+        process.bind(_LocalEnv(self, process.pid))
+        return process
+
+    def start(self) -> "LocalRuntime":
+        if self._started:
+            raise TransportError("runtime already started")
+        self._started = True
+        self._thread.start()
+        for process in self._processes.values():
+            self._push(0.0, process.on_start)
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            self._stopping = True
+            self._lock.notify_all()
+        if self._thread.ident is not None:  # only join a started thread
+            self._thread.join(timeout=timeout)
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float = 30.0) -> bool:
+        """Poll ``predicate`` from the caller's thread until it holds."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.002)
+        return predicate()
+
+    # -------------------------------------------------------------- internals
+    def _push(self, delay: float, fn: Callable[[], None]) -> None:
+        deadline = self.now + max(0.0, delay)
+        with self._lock:
+            heapq.heappush(self._queue, (deadline, next(self._seq), fn))
+            self._lock.notify_all()
+
+    def _send(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+        sender = self._processes.get(src)
+        if sender is None or not sender.alive:
+            return
+        receiver = self._processes.get(dst)
+        if receiver is None:
+            raise TransportError(f"{src} sent to unknown process {dst!r}")
+        delay = self.latency.sample(self._rng) if self.latency is not None else 0.0
+
+        def deliver() -> None:
+            if receiver.alive:
+                receiver.on_message(src, msg)
+
+        self._push(delay, deliver)
+
+    def _set_timer(
+        self, pid: ProcessId, delay: float, fn: Callable[..., None], args: tuple
+    ) -> TimerHandle:
+        handle = _LocalTimer()
+        process = self._processes[pid]
+
+        def fire() -> None:
+            if handle.active and process.alive:
+                fn(*args)
+
+        self._push(delay, fire)
+        return handle
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                if not self._queue:
+                    self._lock.wait(timeout=0.05)
+                    continue
+                deadline, _seq, fn = self._queue[0]
+                wait = deadline - self.now
+                if wait > 0:
+                    self._lock.wait(timeout=min(wait, 0.05))
+                    continue
+                heapq.heappop(self._queue)
+            try:
+                fn()
+            except Exception:  # pragma: no cover - surfaced via test failures
+                import traceback
+
+                traceback.print_exc()

@@ -1,0 +1,72 @@
+"""Common type aliases and small shared value types.
+
+Kept dependency-free so every subpackage can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TypeAlias
+
+#: Identifier of a process (replica or client). Stable across crash/recover.
+ProcessId: TypeAlias = str
+
+#: Simulated (or wall-clock) time in **seconds**.
+Time: TypeAlias = float
+
+#: Monotonically increasing consensus-instance number (1-based, as in the
+#: paper's "the ith request").
+InstanceId: TypeAlias = int
+
+
+class RequestKind(enum.Enum):
+    """Classification of client requests, following §4 of the paper.
+
+    * ``READ`` — does not change service state; coordinated via X-Paxos.
+    * ``WRITE`` — changes service state; coordinated via the basic protocol.
+    * ``ORIGINAL`` — baseline: the leader replies immediately with **no**
+      coordination, modelling the unreplicated service.
+    * ``TXN_OP`` — an operation inside a client transaction (T-Paxos path:
+      executed and answered immediately by the leader, replicated at commit).
+    * ``TXN_COMMIT`` / ``TXN_ABORT`` — transaction boundary requests.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    ORIGINAL = "original"
+    TXN_OP = "txn_op"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+
+    @property
+    def is_transactional(self) -> bool:
+        return self in (RequestKind.TXN_OP, RequestKind.TXN_COMMIT, RequestKind.TXN_ABORT)
+
+
+class ReplyStatus(enum.Enum):
+    """Outcome carried on a :class:`repro.core.messages.Reply`."""
+
+    OK = "ok"
+    ABORTED = "aborted"        # transaction aborted (conflict or leader switch)
+    NOT_LEADER = "not_leader"  # replica is not the leader; client should wait/retry
+    ERROR = "error"            # service-level failure
+
+
+class StateTransferMode(enum.Enum):
+    """How the leader ships its post-execution state to the backups (§3.3).
+
+    * ``FULL`` — the entire service state accompanies each proposal.
+    * ``DELTA`` — only the state update produced by the request.
+    * ``REPRO`` — reproduction info (e.g. an RNG draw or a scheduling
+      decision) from which each replica regenerates the state itself.
+    * ``SMR`` — **no** state is shipped: every replica re-executes the
+      request itself. This is classic Multi-Paxos replicated state
+      machines [27], the paper's baseline — correct *only* for
+      deterministic services; on a nondeterministic service the replicas
+      diverge, which is the problem the paper exists to solve.
+    """
+
+    FULL = "full"
+    DELTA = "delta"
+    REPRO = "repro"
+    SMR = "smr"

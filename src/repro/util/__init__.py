@@ -1,0 +1,14 @@
+"""Small shared utilities: statistics, sequences, table rendering."""
+
+from repro.util.seq import SequenceGenerator
+from repro.util.stats import Summary, confidence_interval, summarize
+from repro.util.tables import format_series, format_table
+
+__all__ = [
+    "SequenceGenerator",
+    "Summary",
+    "confidence_interval",
+    "summarize",
+    "format_series",
+    "format_table",
+]

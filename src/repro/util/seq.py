@@ -1,0 +1,27 @@
+"""Monotonic sequence generation helpers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+
+class SequenceGenerator:
+    """A restartable monotonic counter.
+
+    Used for event sequence numbers (heap tie-breaking), request ids and
+    ballot rounds. Deliberately not thread-safe: the simulation kernel is
+    single-threaded, and each real transport owns its own generator.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        """Return the next value in the sequence."""
+        return next(self._counter)
+
+    def __iter__(self) -> Iterator[int]:
+        return self._counter

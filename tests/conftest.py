@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.link import LinkSpec
+from repro.net.profiles import NetworkProfile
+from repro.net.topology import Topology
+from repro.sim.cpu import CpuProfile
+
+
+def _flat_builder(replicas, clients):
+    topo = Topology(default=LinkSpec(latency=ConstantLatency(1e-3), jitter_reorder=False))
+    topo.place_all(list(replicas), "site")
+    topo.place_all(list(clients), "site")
+    return topo
+
+
+def make_test_profile(latency: float = 1e-3) -> NetworkProfile:
+    """A featureless profile for protocol-behaviour tests: constant
+    ``latency`` everywhere, free CPUs, no jitter — so assertions about
+    message counts and orderings are exact."""
+
+    def builder(replicas, clients):
+        topo = Topology(
+            default=LinkSpec(latency=ConstantLatency(latency), jitter_reorder=False)
+        )
+        topo.place_all(list(replicas), "site")
+        topo.place_all(list(clients), "site")
+        return topo
+
+    return NetworkProfile(
+        name="test",
+        description="flat constant-latency test profile",
+        replica_cpu=CpuProfile(),
+        client_cpu=CpuProfile(),
+        paper_rrt={},
+        _builder=builder,
+        per_connection_overhead=0.0,
+    )
+
+
+@pytest.fixture
+def flat_profile() -> NetworkProfile:
+    return make_test_profile()
+
+
+@pytest.fixture
+def fast_profile() -> NetworkProfile:
+    """Sub-millisecond profile for tests that run many requests."""
+    return make_test_profile(latency=50e-6)

@@ -1,0 +1,54 @@
+"""Cross-validation: the analytic queueing model vs the simulator.
+
+If the MVA model and the DES disagree badly, one of them is wrong about
+the system being modeled — this is the internal consistency check of the
+whole throughput methodology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import sysnet_model
+from repro.cluster.scenarios import throughput_scenario
+
+
+class TestModelVsSimulator:
+    @pytest.mark.parametrize("kind", ["original", "read"])
+    @pytest.mark.parametrize("clients", [1, 4, 16])
+    def test_throughput_agreement_below_saturation(self, kind, clients):
+        model = sysnet_model(kind)
+        predicted = model.throughput(clients)
+        measured = throughput_scenario(
+            "sysnet", kind, clients, total_requests=1000, seed=3,
+            connection_scaling=False,
+        ).throughput
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_rrt_agreement_at_single_client(self):
+        for kind in ("original", "read", "write"):
+            model = sysnet_model(kind)
+            measured = throughput_scenario(
+                "sysnet", kind, 1, total_requests=300, seed=3,
+                connection_scaling=False,
+            )
+            assert measured.rrt.mean == pytest.approx(
+                model.response_time(1), rel=0.1
+            )
+
+    def test_saturation_prediction_order_of_magnitude(self):
+        # The model says the original service saturates at ~1/S = 100k/s;
+        # the simulator at very high client counts should get within 2x.
+        model = sysnet_model("original")
+        cap = 1.0 / model.service
+        measured = throughput_scenario(
+            "sysnet", "original", 64, total_requests=2000, seed=3,
+            connection_scaling=False,
+        ).throughput
+        assert cap / 2 < measured <= cap * 1.05
+
+    def test_model_explains_read_over_write_margin(self):
+        # The Fig. 5 ordering is a direct consequence of per-kind demand.
+        read_model = sysnet_model("read")
+        write_model = sysnet_model("write")
+        assert read_model.throughput(16) > write_model.throughput(16)

@@ -1,0 +1,31 @@
+"""Shared helpers for integration tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.client.workload import Step
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.services.base import Service
+from repro.services.noop import NoopService
+from repro.types import StateTransferMode
+from tests.conftest import make_test_profile
+
+
+def build_cluster(
+    client_steps: Sequence[Sequence[Step]],
+    service_factory: Callable[[], Service] = NoopService,
+    latency: float = 1e-3,
+    seed: int = 0,
+    **spec_overrides,
+) -> Cluster:
+    """A 3-replica cluster on the flat constant-latency test profile."""
+    spec_overrides.setdefault("client_timeout", 0.2)
+    spec = ClusterSpec(profile=make_test_profile(latency), seed=seed, **spec_overrides)
+    return Cluster(spec, client_steps, service_factory=service_factory)
+
+
+def converged_fingerprints(cluster: Cluster, grace: float = 1.0) -> dict:
+    """Run the drain period and return all alive replicas' fingerprints."""
+    cluster.drain(grace)
+    return cluster.replica_fingerprints()

@@ -1,0 +1,55 @@
+"""Property tests: ballot / proposal-number ordering is a total order."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.ballot import Ballot, ProposalNumber
+
+ballots = st.builds(
+    Ballot,
+    round=st.integers(min_value=0, max_value=1000),
+    leader=st.sampled_from(["r0", "r1", "r2", "r3"]),
+)
+pns = st.builds(
+    ProposalNumber, ballot=ballots, instance=st.integers(min_value=1, max_value=10_000)
+)
+
+
+@given(a=ballots, b=ballots)
+def test_ballot_trichotomy(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(a=ballots, b=ballots, c=ballots)
+def test_ballot_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(a=ballots)
+def test_zero_below_everything(a):
+    assert Ballot.ZERO < a
+
+
+@given(a=ballots, leader=st.sampled_from(["r0", "r9"]))
+def test_next_for_strictly_greater(a, leader):
+    assert a.next_for(leader) > a
+
+
+@given(a=pns, b=pns)
+def test_pn_trichotomy(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(a=pns, b=pns)
+def test_pn_ballot_dominates_instance(a, b):
+    if a.ballot < b.ballot:
+        assert a < b
+
+
+@given(items=st.lists(pns, min_size=2, max_size=20))
+def test_pn_sort_stable_and_consistent(items):
+    ordered = sorted(items)
+    for x, y in zip(ordered, ordered[1:]):
+        assert not (y < x)

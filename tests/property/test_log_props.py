@@ -1,0 +1,99 @@
+"""Property tests: replica-log invariants under random operation sequences."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.ballot import Ballot, ProposalNumber
+from repro.core.log import ReplicaLog
+from repro.core.messages import Proposal
+from repro.core.requests import ClientRequest, RequestId
+from repro.core.state import StatePayload
+from repro.types import RequestKind, StateTransferMode
+
+
+def proposal(instance: int) -> Proposal:
+    # One canonical value per instance, so choose() never conflicts.
+    request = ClientRequest(RequestId(f"c{instance}", 0), RequestKind.WRITE, op=instance)
+    return Proposal(
+        requests=(request,), payload=StatePayload(StateTransferMode.FULL, instance)
+    )
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["accept", "choose"]),
+        st.integers(min_value=1, max_value=30),   # instance
+        st.integers(min_value=0, max_value=5),    # ballot round
+    ),
+    max_size=120,
+)
+
+
+@given(sequence=ops)
+def test_frontier_is_contiguous_chosen_prefix(sequence):
+    log = ReplicaLog()
+    for kind, instance, round_ in sequence:
+        if kind == "accept":
+            log.accept(ProposalNumber(Ballot(round_, "r0"), instance), proposal(instance))
+        else:
+            log.choose(instance, proposal(instance))
+    frontier = log.frontier
+    for i in range(1, frontier + 1):
+        assert log.is_chosen(i)
+    assert not log.is_chosen(frontier + 1)
+
+
+@given(sequence=ops)
+def test_accepted_entry_keeps_highest_pn(sequence):
+    log = ReplicaLog()
+    highest: dict[int, ProposalNumber] = {}
+    for kind, instance, round_ in sequence:
+        if kind == "accept":
+            pn = ProposalNumber(Ballot(round_, "r0"), instance)
+            log.accept(pn, proposal(instance))
+            if instance not in highest or pn > highest[instance]:
+                highest[instance] = pn
+    for instance, pn in highest.items():
+        assert log.accepted_entry(instance).pn == pn
+
+
+@given(sequence=ops)
+def test_gaps_are_exactly_unchosen_below_top(sequence):
+    log = ReplicaLog()
+    chosen: set[int] = set()
+    for kind, instance, _round in sequence:
+        if kind == "choose":
+            log.choose(instance, proposal(instance))
+            chosen.add(instance)
+    if chosen:
+        top = max(chosen)
+        expected = tuple(i for i in range(1, top) if i not in chosen)
+        assert log.gaps() == expected
+
+
+@given(sequence=ops, compact_to=st.integers(min_value=0, max_value=30))
+def test_compaction_preserves_is_chosen(sequence, compact_to):
+    log = ReplicaLog()
+    for kind, instance, round_ in sequence:
+        if kind == "accept":
+            log.accept(ProposalNumber(Ballot(round_, "r0"), instance), proposal(instance))
+        else:
+            log.choose(instance, proposal(instance))
+    upto = min(compact_to, log.frontier)
+    chosen_before = {i for i in range(1, 31) if log.is_chosen(i)}
+    log.compact(upto)
+    chosen_after = {i for i in range(1, 31) if log.is_chosen(i)}
+    assert chosen_before == chosen_after
+
+
+@given(sequence=ops)
+def test_choose_idempotent_any_order(sequence):
+    log1, log2 = ReplicaLog(), ReplicaLog()
+    chooses = [(i, proposal(i)) for kind, i, _r in sequence if kind == "choose"]
+    for i, v in chooses:
+        log1.choose(i, v)
+    for i, v in reversed(chooses):
+        log2.choose(i, v)
+    assert log1.frontier == log2.frontier
+    assert log1.gaps() == log2.gaps()

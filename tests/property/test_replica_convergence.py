@@ -1,0 +1,79 @@
+"""End-to-end property test: for random workload mixes, seeds, transfer
+modes and fault timings, all replicas converge to one state and every
+acknowledged request executed exactly once."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.client.workload import Step, single_kind_steps
+from repro.cluster.faults import FaultSchedule
+from repro.services.counter import CounterService
+from repro.types import RequestKind, StateTransferMode
+from tests.integration.util import build_cluster, converged_fingerprints
+
+MODES = [StateTransferMode.FULL, StateTransferMode.DELTA, StateTransferMode.REPRO]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from(MODES),
+    n_writes=st.integers(min_value=1, max_value=25),
+)
+def test_random_counter_workload_converges(seed, mode, n_writes):
+    steps = single_kind_steps(RequestKind.WRITE, n_writes, op=("add_random", 1, 100))
+    cluster = build_cluster(
+        [steps], service_factory=CounterService, state_mode=mode, seed=seed
+    ).run()
+    prints = converged_fingerprints(cluster)
+    assert len(set(prints.values())) == 1
+    # Exactly-once: the sum of acknowledged per-request amounts equals the
+    # replicated state. Each reply carries the running total.
+    client = cluster.clients[0]
+    final = client.request_records()[-1].value
+    assert set(prints.values()) == {final}
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    mode=st.sampled_from(MODES),
+    switch_at=st.floats(min_value=0.002, max_value=0.06),
+)
+def test_convergence_across_random_leader_switch(seed, mode, switch_at):
+    steps = single_kind_steps(RequestKind.WRITE, 20, op=("add", 1))
+    cluster = build_cluster(
+        [steps],
+        service_factory=CounterService,
+        state_mode=mode,
+        elector="manual",
+        client_timeout=0.05,
+        seed=seed,
+    )
+    FaultSchedule(cluster).switch_leader("r1", at=switch_at)
+    cluster.run(max_time=60.0)
+    assert cluster.clients[0].completed_requests == 20
+    prints = converged_fingerprints(cluster)
+    # Exactly 20 acknowledged increments, everywhere, despite the switch.
+    assert set(prints.values()) == {20}
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    crash_at=st.floats(min_value=0.001, max_value=0.05),
+    recover_at=st.floats(min_value=0.1, max_value=0.3),
+)
+def test_backup_crash_recover_convergence(seed, crash_at, recover_at):
+    steps = single_kind_steps(RequestKind.WRITE, 15, op=("add", 1))
+    cluster = build_cluster(
+        [steps], service_factory=CounterService, client_timeout=0.05, seed=seed
+    )
+    schedule = FaultSchedule(cluster)
+    schedule.crash("r2", at=crash_at)
+    schedule.recover("r2", at=recover_at)
+    cluster.run(max_time=60.0)
+    cluster.drain(3.0)
+    prints = cluster.replica_fingerprints()
+    assert set(prints.values()) == {15}

@@ -1,0 +1,88 @@
+"""Unit tests for ballot and proposal numbers (§3.2/§3.3 ordering rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ballot import Ballot, ProposalNumber
+
+
+class TestBallot:
+    def test_ordering_by_round_first(self):
+        assert Ballot(1, "z") < Ballot(2, "a")
+
+    def test_ordering_by_leader_within_round(self):
+        assert Ballot(1, "a") < Ballot(1, "b")
+
+    def test_equality(self):
+        assert Ballot(3, "r1") == Ballot(3, "r1")
+        assert Ballot(3, "r1") != Ballot(3, "r2")
+
+    def test_zero_is_smallest(self):
+        assert Ballot.ZERO < Ballot(0, "")
+        assert Ballot.ZERO < Ballot(0, "a")
+        assert Ballot.ZERO < Ballot(1000, "zzz")
+
+    def test_next_for_is_strictly_greater(self):
+        b = Ballot(5, "r2")
+        nxt = b.next_for("r0")
+        assert nxt > b
+        assert nxt.leader == "r0"
+
+    def test_next_for_from_zero(self):
+        assert Ballot.ZERO.next_for("r1") == Ballot(0, "r1")
+
+    def test_distinct_leaders_never_equal(self):
+        # Two leaders can never mint the same ballot.
+        assert Ballot(4, "r1") != Ballot(4, "r2")
+
+    def test_hashable(self):
+        assert len({Ballot(1, "a"), Ballot(1, "a"), Ballot(2, "a")}) == 2
+
+    def test_total_ordering_helpers(self):
+        assert Ballot(1, "a") <= Ballot(1, "a")
+        assert Ballot(2, "a") >= Ballot(1, "z")
+        assert not (Ballot(1, "a") > Ballot(1, "a"))
+
+    def test_str(self):
+        assert str(Ballot(3, "r1")) == "b(3,r1)"
+
+
+class TestProposalNumber:
+    def test_lexicographic_ballot_then_instance(self):
+        # §3.3: "ordered lexicographically, first by the ballot number and
+        # then by the instance number".
+        low_ballot_high_instance = ProposalNumber(Ballot(1, "a"), 99)
+        high_ballot_low_instance = ProposalNumber(Ballot(2, "a"), 1)
+        assert low_ballot_high_instance < high_ballot_low_instance
+
+    def test_same_ballot_orders_by_instance(self):
+        b = Ballot(1, "a")
+        assert ProposalNumber(b, 3) < ProposalNumber(b, 4)
+
+    def test_equality_and_hash(self):
+        a = ProposalNumber(Ballot(1, "a"), 3)
+        b = ProposalNumber(Ballot(1, "a"), 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_leader_breaks_ties(self):
+        assert ProposalNumber(Ballot(1, "a"), 5) < ProposalNumber(Ballot(1, "b"), 5)
+
+    def test_sorting_mixed(self):
+        pns = [
+            ProposalNumber(Ballot(2, "a"), 1),
+            ProposalNumber(Ballot(1, "b"), 9),
+            ProposalNumber(Ballot(1, "a"), 9),
+            ProposalNumber(Ballot(1, "b"), 2),
+        ]
+        ordered = sorted(pns)
+        assert ordered == [
+            ProposalNumber(Ballot(1, "a"), 9),
+            ProposalNumber(Ballot(1, "b"), 2),
+            ProposalNumber(Ballot(1, "b"), 9),
+            ProposalNumber(Ballot(2, "a"), 1),
+        ]
+
+    def test_str(self):
+        assert "pn(1,a,#7)" == str(ProposalNumber(Ballot(1, "a"), 7))

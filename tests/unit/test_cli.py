@@ -1,0 +1,55 @@
+"""Unit tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _md_table, build_experiments_report, main
+
+
+class TestMdTable:
+    def test_shape(self):
+        out = _md_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+
+class TestCommands:
+    def test_profiles_command(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "sysnet" in out and "wan" in out and "berkeley_princeton" in out
+        assert "0.181" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExperimentsReport:
+    # One slow-ish end-to-end check of the generator (quick mode).
+    def test_quick_report_contains_every_artefact(self):
+        report = build_experiments_report(quick=True)
+        for marker in (
+            "sysnet — request response time",
+            "berkeley_princeton — request response time",
+            "wan — request response time",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 7",
+            "Fig. 8",
+            "Table 1",
+            "Fig. 9a",
+            "Fig. 9b",
+        ):
+            assert marker in report, f"missing {marker}"
+        # Spot-check one paper number appears alongside a measured one.
+        assert "0.181" in report and "106.7" in report

@@ -1,0 +1,59 @@
+"""Unit tests for the TCP framing codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ballot import Ballot
+from repro.core.messages import Confirm
+from repro.core.requests import RequestId
+from repro.transport.codec import FrameDecoder, decode_frames, encode_frame
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        frame = encode_frame({"a": 1})
+        assert decode_frames(frame) == [{"a": 1}]
+
+    def test_multiple_frames(self):
+        data = encode_frame(1) + encode_frame("two") + encode_frame([3])
+        assert decode_frames(data) == [1, "two", [3]]
+
+    def test_protocol_messages_picklable(self):
+        msg = Confirm(ballot=Ballot(3, "r1"), rid=RequestId("c0", 7))
+        (decoded,) = decode_frames(encode_frame(("r2", msg)))
+        assert decoded == ("r2", msg)
+
+    def test_trailing_garbage_detected(self):
+        with pytest.raises(ValueError):
+            decode_frames(encode_frame(1) + b"\x00\x01")
+
+
+class TestIncremental:
+    def test_byte_at_a_time(self):
+        frame = encode_frame({"k": list(range(50))})
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frame)):
+            out.extend(decoder.feed(frame[i : i + 1]))
+        assert out == [{"k": list(range(50))}]
+        assert decoder.pending_bytes == 0
+
+    def test_split_across_header(self):
+        frame = encode_frame("x")
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame[:2])) == []
+        assert list(decoder.feed(frame[2:])) == ["x"]
+
+    def test_two_frames_one_feed(self):
+        decoder = FrameDecoder()
+        out = list(decoder.feed(encode_frame(1) + encode_frame(2)))
+        assert out == [1, 2]
+
+    def test_oversize_frame_rejected(self):
+        import struct
+
+        decoder = FrameDecoder()
+        bogus = struct.pack(">I", 2**31)
+        with pytest.raises(ValueError):
+            list(decoder.feed(bogus))

@@ -1,0 +1,79 @@
+"""Unit tests for the CPU occupancy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cpu import CpuModel, CpuProfile
+
+
+class TestCpuProfile:
+    def test_defaults_are_free(self):
+        p = CpuProfile()
+        assert p.send_cost == 0.0 and p.recv_cost == 0.0
+
+    def test_scaled(self):
+        p = CpuProfile(send_cost=2e-6, recv_cost=4e-6, execute_cost=1e-6)
+        s = p.scaled(0.5)
+        assert s.send_cost == pytest.approx(1e-6)
+        assert s.recv_cost == pytest.approx(2e-6)
+        assert s.execute_cost == pytest.approx(0.5e-6)
+
+    def test_with_extra(self):
+        p = CpuProfile(send_cost=1e-6)
+        q = p.with_extra(3e-6)
+        assert q.extra_per_message == pytest.approx(3e-6)
+        assert q.send_cost == pytest.approx(1e-6)
+        assert p.extra_per_message == 0.0  # original untouched
+
+
+class TestCpuModel:
+    def test_idle_cpu_starts_immediately(self):
+        cpu = CpuModel(CpuProfile(recv_cost=10e-6))
+        assert cpu.recv_completion(1.0) == pytest.approx(1.0 + 10e-6)
+
+    def test_busy_cpu_queues_work(self):
+        cpu = CpuModel(CpuProfile(recv_cost=10e-6))
+        first = cpu.recv_completion(1.0)
+        second = cpu.recv_completion(1.0)  # arrives while busy
+        assert second == pytest.approx(first + 10e-6)
+
+    def test_gap_leaves_cpu_idle(self):
+        cpu = CpuModel(CpuProfile(send_cost=5e-6))
+        cpu.send_completion(0.0)
+        # Much later arrival: no queueing.
+        assert cpu.send_completion(1.0) == pytest.approx(1.0 + 5e-6)
+
+    def test_extra_per_message_added(self):
+        cpu = CpuModel(CpuProfile(recv_cost=10e-6, extra_per_message=2e-6))
+        assert cpu.recv_completion(0.0) == pytest.approx(12e-6)
+
+    def test_negative_cost_rejected(self):
+        cpu = CpuModel()
+        with pytest.raises(ValueError):
+            cpu.acquire(0.0, -1e-6)
+
+    def test_busy_time_accumulates(self):
+        cpu = CpuModel(CpuProfile(recv_cost=10e-6))
+        cpu.recv_completion(0.0)
+        cpu.recv_completion(0.0)
+        assert cpu.busy_time == pytest.approx(20e-6)
+
+    def test_utilization(self):
+        cpu = CpuModel(CpuProfile(recv_cost=10e-6))
+        for _ in range(10):
+            cpu.recv_completion(0.0)
+        assert cpu.utilization(1e-3) == pytest.approx(0.1)
+        assert cpu.utilization(0.0) == 0.0
+        assert cpu.utilization(1e-6) == 1.0  # clamped
+
+    def test_reset_forgets_backlog_not_stats(self):
+        cpu = CpuModel(CpuProfile(recv_cost=10e-6))
+        cpu.recv_completion(0.0)
+        cpu.reset()
+        assert cpu.busy_until == 0.0
+        assert cpu.busy_time > 0.0
+
+    def test_execute_completion_uses_execute_cost(self):
+        cpu = CpuModel(CpuProfile(execute_cost=7e-6))
+        assert cpu.execute_completion(0.0) == pytest.approx(7e-6)

@@ -1,0 +1,197 @@
+"""Unit + adversarial tests for Chandra-Toueg ♦S consensus."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ctconsensus import (
+    CTAck,
+    CTDecide,
+    CTEstimate,
+    CTNack,
+    CTProcess,
+    CTPropose,
+)
+from repro.errors import ProtocolError
+
+PEERS = ("p0", "p1", "p2")
+
+
+class SyncDriver:
+    """Delivers messages synchronously with optional per-round suspicion."""
+
+    def __init__(self, values, suspect_rounds=frozenset()):
+        self.processes = {
+            pid: CTProcess(pid, PEERS, value) for pid, value in zip(PEERS, values)
+        }
+        self.suspect_rounds = suspect_rounds
+        self.inbox = []
+
+    def post(self, src, dst, msg):
+        targets = PEERS if dst is None else [dst]
+        for target in targets:
+            self.inbox.append((src, target, msg))
+
+    def dispatch(self, src, dst, msg):
+        process = self.processes[dst]
+        handler = {
+            CTEstimate: process.on_estimate,
+            CTPropose: process.on_propose,
+            CTAck: process.on_ack,
+            CTNack: process.on_nack,
+            CTDecide: process.on_decide,
+        }[type(msg)]
+        for dst2, msg2 in handler(src, msg):
+            self.post(dst, dst2, msg2)
+
+    def run(self, max_steps=500):
+        for pid in PEERS:
+            for dst, msg in self.processes[pid].start():
+                self.post(pid, dst, msg)
+        steps = 0
+        while self.inbox and steps < max_steps:
+            steps += 1
+            src, dst, msg = self.inbox.pop(0)
+            self.dispatch(src, dst, msg)
+        return all(p.decided for p in self.processes.values())
+
+
+class TestHappyPath:
+    def test_round_zero_decides(self):
+        driver = SyncDriver(values=("a", "b", "c"))
+        assert driver.run()
+        decisions = {p.decision for p in driver.processes.values()}
+        assert len(decisions) == 1
+
+    def test_coordinator_of_rotation(self):
+        process = CTProcess("p0", PEERS, "v")
+        assert [process.coordinator_of(r) for r in range(4)] == ["p0", "p1", "p2", "p0"]
+
+    def test_decision_is_someones_initial_value(self):
+        driver = SyncDriver(values=("a", "b", "c"))
+        driver.run()
+        assert driver.processes["p0"].decision in ("a", "b", "c")
+
+
+class TestSuspicion:
+    def test_suspicion_moves_to_next_round(self):
+        process = CTProcess("p1", PEERS, "v")
+        process.start()
+        out = process.suspect_coordinator()
+        # NACK to p0, estimate to p1 (itself, coordinator of round 1).
+        kinds = [type(m).__name__ for _d, m in out]
+        assert kinds == ["CTNack", "CTEstimate"]
+        assert process.round == 1
+
+    def test_decided_process_ignores_suspicion(self):
+        process = CTProcess("p0", PEERS, "v")
+        process.on_decide("p1", CTDecide(value="w"))
+        assert process.suspect_coordinator() == []
+
+    def test_nacked_round_cannot_be_acked_later(self):
+        process = CTProcess("p1", PEERS, "v")
+        process.start()
+        process.suspect_coordinator()  # now in round 1
+        # A late proposal for round 0 must be ignored (no ACK).
+        assert process.on_propose("p0", CTPropose(round=0, value="w")) == []
+
+    def test_double_decide_same_value_ok(self):
+        process = CTProcess("p0", PEERS, "v")
+        process.on_decide("p1", CTDecide(value="w"))
+        process.on_decide("p2", CTDecide(value="w"))
+        assert process.decision == "w"
+
+    def test_double_decide_different_value_raises(self):
+        process = CTProcess("p0", PEERS, "v")
+        process.on_decide("p1", CTDecide(value="w"))
+        with pytest.raises(ProtocolError):
+            process.on_decide("p2", CTDecide(value="x"))
+
+
+class TestLocking:
+    def test_locked_value_survives_round_change(self):
+        """p0's round-0 proposal is adopted by a majority; a round-1
+        coordinator must re-propose the same value."""
+        processes = {pid: CTProcess(pid, PEERS, pid) for pid in PEERS}
+        coordinator = processes["p0"]
+        # Round 0: coordinator gathers estimates and proposes.
+        out = coordinator.on_estimate("p1", CTEstimate(0, "b", -1))
+        out += coordinator.on_estimate("p2", CTEstimate(0, "c", -1))
+        proposal = next(m for _d, m in out if isinstance(m, CTPropose))
+        # p1 adopts; p2 never hears it.
+        processes["p1"].on_propose("p0", proposal)
+        assert processes["p1"].stamp == 0
+        # Round 1: p1 coordinates; gathers estimates from p1 and p2.
+        coordinator1 = processes["p1"]
+        coordinator1.round = 1
+        out = coordinator1.on_estimate(
+            "p1", CTEstimate(1, coordinator1.estimate, coordinator1.stamp)
+        )
+        out += coordinator1.on_estimate("p2", CTEstimate(1, "c", -1))
+        proposal1 = next(m for _d, m in out if isinstance(m, CTPropose))
+        assert proposal1.value == proposal.value  # the locked value sticks
+
+    def test_propose_hook_replaces_placeholder_only(self):
+        hook_calls = []
+
+        def hook(value):
+            hook_calls.append(value)
+            return value if value is not None else "computed"
+
+        coordinator = CTProcess("p0", PEERS, None, propose_hook=hook)
+        out = coordinator.on_estimate("p1", CTEstimate(0, None, -1))
+        out += coordinator.on_estimate("p2", CTEstimate(0, None, -1))
+        proposal = next(m for _d, m in out if isinstance(m, CTPropose))
+        assert proposal.value == "computed"
+        # Locked value passes through untouched.
+        coordinator2 = CTProcess("p1", PEERS, None, propose_hook=hook)
+        coordinator2.round = 1
+        out = coordinator2.on_estimate("p0", CTEstimate(1, "locked", 0))
+        out += coordinator2.on_estimate("p2", CTEstimate(1, None, -1))
+        proposal2 = next(m for _d, m in out if isinstance(m, CTPropose))
+        assert proposal2.value == "locked"
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_agreement_under_adversarial_schedules(data):
+    """Random delivery order + random suspicion injections: all processes
+    that decide, decide the same value."""
+    processes = {pid: CTProcess(pid, PEERS, f"v-{pid}") for pid in PEERS}
+    inbox: list[tuple[str, str, object]] = []
+
+    def post(src, dst, msg):
+        targets = PEERS if dst is None else [dst]
+        for target in targets:
+            inbox.append((src, target, msg))
+
+    for pid in PEERS:
+        for dst, msg in processes[pid].start():
+            post(pid, dst, msg)
+
+    steps = 0
+    while inbox and steps < 300:
+        steps += 1
+        # Adversary may inject a suspicion at any point.
+        if data.draw(st.booleans(), label="suspect?") and steps < 60:
+            victim = data.draw(st.sampled_from(PEERS), label="who suspects")
+            for dst, msg in processes[victim].suspect_coordinator():
+                post(victim, dst, msg)
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(inbox) - 1), label="pick"
+        )
+        src, dst, msg = inbox.pop(index)
+        process = processes[dst]
+        handler = {
+            CTEstimate: process.on_estimate,
+            CTPropose: process.on_propose,
+            CTAck: process.on_ack,
+            CTNack: process.on_nack,
+            CTDecide: process.on_decide,
+        }[type(msg)]
+        for dst2, msg2 in handler(src, msg):
+            post(dst, dst2, msg2)
+
+    decisions = {p.decision for p in processes.values() if p.decided}
+    assert len(decisions) <= 1

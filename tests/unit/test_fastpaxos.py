@@ -1,0 +1,170 @@
+"""Unit and adversarial tests for the Fast Paxos comparator (§5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ballot import Ballot
+from repro.core.fastpaxos import (
+    FAccept,
+    FAccepted,
+    FAny,
+    FClientValue,
+    FPrepare,
+    FastAcceptor,
+    FastCoordinator,
+    classic_quorum,
+    fast_quorum,
+)
+from repro.errors import ProtocolError
+
+PEERS = ("a0", "a1", "a2", "a3")
+
+
+def open_round(coordinator, acceptors, ballot=None):
+    ballot = ballot or Ballot(1, coordinator.pid)
+    any_msg = coordinator.open_fast_round(ballot)
+    for acceptor in acceptors.values():
+        assert acceptor.on_any(any_msg)
+    return ballot
+
+
+def setup():
+    acceptors = {pid: FastAcceptor(pid) for pid in PEERS}
+    coordinator = FastCoordinator("a0", PEERS)
+    return coordinator, acceptors
+
+
+class TestQuorums:
+    def test_fast_quorum_sizes(self):
+        assert fast_quorum(4) == 3
+        assert fast_quorum(7) == 5
+        assert classic_quorum(4) == 3
+
+    def test_needs_four_acceptors(self):
+        with pytest.raises(ProtocolError):
+            FastCoordinator("a0", ("a0", "a1", "a2"))
+
+
+class TestFastPath:
+    def test_uncontended_value_chosen_in_two_delays(self):
+        coordinator, acceptors = setup()
+        open_round(coordinator, acceptors)
+        # One client, all acceptors see the same value: fast decision.
+        done = False
+        for pid, acceptor in acceptors.items():
+            accepted = acceptor.on_client_value(FClientValue("v"))
+            assert accepted is not None
+            done = coordinator.on_fast_accepted(pid, accepted) or done
+        assert done and coordinator.chosen == "v"
+        assert not coordinator.interceded
+
+    def test_fast_quorum_subset_suffices(self):
+        coordinator, acceptors = setup()
+        open_round(coordinator, acceptors)
+        done = False
+        for pid in PEERS[:3]:  # 3 of 4 = fast quorum
+            accepted = acceptors[pid].on_client_value(FClientValue("v"))
+            done = coordinator.on_fast_accepted(pid, accepted) or done
+        assert done
+
+    def test_acceptor_takes_first_value_only(self):
+        _coordinator, acceptors = setup()
+        open_round(FastCoordinator("a0", PEERS), acceptors)
+        acceptor = acceptors["a1"]
+        assert acceptor.on_client_value(FClientValue("first")) is not None
+        assert acceptor.on_client_value(FClientValue("second")) is None
+        assert acceptor.accepted[1] == "first"
+
+    def test_closed_round_rejects_client_values(self):
+        _coordinator, acceptors = setup()
+        acceptor = acceptors["a1"]
+        assert acceptor.on_client_value(FClientValue("v")) is None  # no Any yet
+
+
+class TestCollision:
+    def split_votes(self, coordinator, acceptors):
+        """Two clients race: a1,a2 take 'x'; a3,a0 take 'y'."""
+        open_round(coordinator, acceptors)
+        votes = {}
+        for pid, value in (("a1", "x"), ("a2", "x"), ("a3", "y"), ("a0", "y")):
+            votes[pid] = acceptors[pid].on_client_value(FClientValue(value))
+        return votes
+
+    def test_collision_detected(self):
+        coordinator, acceptors = setup()
+        votes = self.split_votes(coordinator, acceptors)
+        for pid, accepted in votes.items():
+            assert not coordinator.on_fast_accepted(pid, accepted)
+        assert coordinator.collided
+
+    def test_coordinator_intercedes_and_decides(self):
+        coordinator, acceptors = setup()
+        votes = self.split_votes(coordinator, acceptors)
+        for pid, accepted in votes.items():
+            coordinator.on_fast_accepted(pid, accepted)
+        prepare = coordinator.intercede()
+        assert coordinator.interceded
+        accept = None
+        for pid, acceptor in acceptors.items():
+            promise = acceptor.on_prepare(prepare)
+            if promise is not None:
+                accept = coordinator.on_promise(pid, promise) or accept
+        assert accept is not None
+        assert accept.value in ("x", "y")
+        done = False
+        for pid, acceptor in acceptors.items():
+            accepted = acceptor.on_accept(accept)
+            if accepted is not None:
+                done = coordinator.on_classic_accepted(pid, accepted) or done
+        assert done and coordinator.chosen == accept.value
+
+    def test_recovery_preserves_fast_chosen_value(self):
+        # 'x' reached a fast quorum (3 of 4); a later recovery must pick 'x'.
+        coordinator, acceptors = setup()
+        open_round(coordinator, acceptors)
+        for pid in ("a1", "a2", "a3"):
+            acceptors[pid].on_client_value(FClientValue("x"))
+        acceptors["a0"].on_client_value(FClientValue("y"))
+        # A second coordinator (say after the first crashed) recovers with a
+        # classic quorum that must include >= 2 'x' voters.
+        recovery = FastCoordinator("a0", PEERS)
+        recovery.round = Ballot(1, "a0")
+        recovery.phase = "fast"
+        prepare = recovery.intercede()
+        accept = None
+        for pid in ("a0", "a1", "a2"):  # classic quorum incl. the dissenter
+            promise = acceptors[pid].on_prepare(prepare)
+            accept = recovery.on_promise(pid, promise) or accept
+        assert accept is not None and accept.value == "x"
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    assignment=st.lists(st.sampled_from(["x", "y"]), min_size=4, max_size=4),
+    quorum_pick=st.sets(st.sampled_from(PEERS), min_size=3, max_size=3),
+)
+def test_recovery_never_contradicts_fast_decision(assignment, quorum_pick):
+    """For every split of client values and every classic recovery quorum:
+    if some value reached a fast quorum, recovery must choose it."""
+    acceptors = {pid: FastAcceptor(pid) for pid in PEERS}
+    coordinator = FastCoordinator("a0", PEERS)
+    open_round(coordinator, acceptors)
+    counts: dict[str, int] = {}
+    for pid, value in zip(PEERS, assignment):
+        acceptors[pid].on_client_value(FClientValue(value))
+        counts[value] = counts.get(value, 0) + 1
+    fast_chosen = [v for v, c in counts.items() if c >= fast_quorum(4)]
+    recovery = FastCoordinator("a0", PEERS)
+    recovery.round = Ballot(1, "a0")
+    recovery.phase = "fast"
+    prepare = recovery.intercede()
+    accept = None
+    for pid in quorum_pick:
+        promise = acceptors[pid].on_prepare(prepare)
+        if promise is not None:
+            accept = recovery.on_promise(pid, promise) or accept
+    assert accept is not None
+    if fast_chosen:
+        assert accept.value == fast_chosen[0]

@@ -1,0 +1,125 @@
+"""Unit tests for fault schedules, the starter, and trace extras."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.workload import single_kind_steps
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.harness import Cluster, ClusterSpec, Starter
+from repro.core.messages import StartSignal
+from repro.errors import ConfigError
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.sim.world import World
+from repro.types import RequestKind
+from tests.conftest import make_test_profile
+
+
+def small_cluster(**overrides):
+    overrides.setdefault("client_timeout", 0.2)
+    spec = ClusterSpec(profile=make_test_profile(), **overrides)
+    return Cluster(spec, [single_kind_steps(RequestKind.WRITE, 3)])
+
+
+class TestFaultSchedule:
+    def test_crash_recover_applied_at_times(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.crash("r1", at=0.01).recover("r1", at=0.02)
+        cluster.start()
+        cluster.kernel.run(until=0.015)
+        assert not cluster.replicas["r1"].alive
+        cluster.kernel.run(until=0.05)
+        assert cluster.replicas["r1"].alive
+        assert [entry for _t, entry in schedule.applied] == ["crash r1", "recover r1"]
+
+    def test_crash_leader_targets_r0(self):
+        cluster = small_cluster()
+        FaultSchedule(cluster).crash_leader(at=0.01)
+        cluster.start()
+        cluster.kernel.run(until=0.02)
+        assert not cluster.replicas["r0"].alive
+
+    def test_switch_leader_requires_manual_elector(self):
+        cluster = small_cluster()  # static elector
+        with pytest.raises(ConfigError):
+            FaultSchedule(cluster).switch_leader("r1", at=0.01)
+
+    def test_partition_and_heal(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.partition([["r0"], ["r1", "r2"]], at=0.01)
+        schedule.heal(at=0.02)
+        cluster.start()
+        cluster.kernel.run(until=0.015)
+        assert cluster.network.partitions.active
+        cluster.kernel.run(until=0.03)
+        assert not cluster.network.partitions.active
+
+
+class TestStarter:
+    class Sink(Process):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self.signals = 0
+
+        def on_message(self, src, msg):
+            if isinstance(msg, StartSignal):
+                self.signals += 1
+
+    def test_starter_fires_at_time(self):
+        kernel = Kernel()
+        world = World(kernel)
+        sink = world.add(self.Sink("c0"))
+        world.add(Starter("starter", ("c0",), at=0.5, repeats=0))
+        world.start()
+        kernel.run(until=0.4)
+        assert sink.signals == 0
+        kernel.run(until=0.6)
+        assert sink.signals == 1
+
+    def test_starter_retransmits(self):
+        kernel = Kernel()
+        world = World(kernel)
+        sink = world.add(self.Sink("c0"))
+        world.add(Starter("starter", ("c0",), at=0.0, repeat_interval=0.1, repeats=3))
+        world.start()
+        kernel.run(until=1.0)
+        assert sink.signals == 4  # initial + 3 repeats
+
+    def test_clients_ignore_duplicate_signals(self):
+        cluster = small_cluster()
+        cluster.run()
+        client = cluster.clients[0]
+        # Exactly one begin despite repeated signals.
+        assert client.completed_requests == 3
+        assert client.started_at is not None
+
+
+class TestTraceExtras:
+    def test_messages_filter_by_type(self):
+        trace = TraceRecorder()
+        trace.emit(0.0, "send", "a", "b", detail={"k": 1})
+        trace.emit(0.1, "send", "a", "b", detail="text")
+        assert len(trace.messages()) == 2
+        assert len(trace.messages(dict)) == 1
+        assert len(trace.messages(str)) == 1
+
+    def test_len_and_iter(self):
+        trace = TraceRecorder()
+        trace.emit(0.0, "crash", "a")
+        trace.emit(0.1, "recover", "a")
+        assert len(trace) == 2
+        assert [e.kind for e in trace] == ["crash", "recover"]
+
+    def test_event_str_renders(self):
+        event = TraceEvent(time=0.001, kind="send", src="a", dst="b", detail="x")
+        text = str(event)
+        assert "send" in text and "a->b" in text
+
+    def test_dump(self):
+        trace = TraceRecorder()
+        trace.emit(0.0, "send", "a", "b", detail=1)
+        assert "send" in trace.dump()

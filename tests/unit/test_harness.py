@@ -1,0 +1,136 @@
+"""Unit tests for the cluster harness, metrics and scenario runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.workload import single_kind_steps
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.cluster.metrics import collect
+from repro.cluster.scenarios import rrt_scenario, throughput_scenario
+from repro.errors import ConfigError, SimulationError
+from repro.types import RequestKind
+from tests.conftest import make_test_profile
+
+
+def small_cluster(**overrides):
+    overrides.setdefault("client_timeout", 0.2)
+    spec = ClusterSpec(profile=make_test_profile(), **overrides)
+    return Cluster(spec, [single_kind_steps(RequestKind.WRITE, 5)])
+
+
+class TestClusterSpec:
+    def test_invalid_elector_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(profile=make_test_profile(), elector="bogus")
+
+    def test_invalid_replica_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(profile=make_test_profile(), n_replicas=0)
+
+    def test_no_clients_rejected(self):
+        spec = ClusterSpec(profile=make_test_profile())
+        with pytest.raises(ConfigError):
+            Cluster(spec, [])
+
+
+class TestCluster:
+    def test_leader_is_first_replica(self):
+        cluster = small_cluster()
+        assert cluster.leader_pid == "r0"
+        assert cluster.leader() is cluster.replicas["r0"]
+
+    def test_run_completes_all_clients(self):
+        cluster = small_cluster().run()
+        assert cluster.all_done
+
+    def test_run_times_out_when_stuck(self):
+        cluster = small_cluster()
+        # Crash everything before start: nothing can complete.
+        for pid in cluster.replica_pids:
+            cluster.world.schedule_crash(pid, 0.0)
+        with pytest.raises(SimulationError):
+            cluster.run(max_time=0.5)
+
+    def test_start_signal_starts_clients_roughly_together(self):
+        spec = ClusterSpec(profile=make_test_profile(), client_timeout=0.2)
+        cluster = Cluster(
+            spec, [single_kind_steps(RequestKind.WRITE, 2) for _ in range(4)]
+        ).run()
+        starts = [c.started_at for c in cluster.clients]
+        assert max(starts) - min(starts) < 0.01
+
+    def test_replica_count_configurable(self):
+        spec = ClusterSpec(profile=make_test_profile(), n_replicas=5, client_timeout=0.2)
+        cluster = Cluster(spec, [single_kind_steps(RequestKind.WRITE, 3)]).run()
+        assert len(cluster.replicas) == 5
+        assert cluster.all_done
+
+    def test_connection_scaling_applies_extra_cpu(self):
+        from repro.net.profiles import sysnet
+
+        spec = ClusterSpec(profile=sysnet(), connection_scaling=True)
+        cluster = Cluster(spec, [single_kind_steps(RequestKind.WRITE, 1) for _ in range(8)])
+        cpu = cluster.world.cpu("r0")
+        assert cpu.profile.extra_per_message == pytest.approx(
+            sysnet().per_connection_overhead * 8
+        )
+
+    def test_trace_enabled(self):
+        cluster = small_cluster(trace=True).run()
+        assert cluster.trace is not None and len(cluster.trace) > 0
+
+
+class TestMetrics:
+    def test_collect_counts(self):
+        cluster = small_cluster().run()
+        result = collect(cluster)
+        assert result.total_requests == 5
+        assert result.n_clients == 1
+        assert result.rrt is not None and result.rrt.n == 5
+        assert result.throughput > 0
+        assert result.aborted_steps == 0
+
+    def test_describe_is_readable(self):
+        cluster = small_cluster().run()
+        text = collect(cluster).describe()
+        assert "RRT" in text and "throughput" in text
+
+    def test_zero_duration_throughput(self):
+        from repro.cluster.metrics import RunResult
+
+        result = RunResult(
+            n_clients=0, duration=0.0, total_requests=0, total_steps=0,
+            aborted_steps=0, total_retransmits=0, rrt=None, trt=None,
+        )
+        assert result.throughput == 0.0
+        assert result.step_throughput == 0.0
+
+
+class TestScenarios:
+    def test_rrt_scenario_accepts_profile_object(self):
+        result = rrt_scenario(make_test_profile(), RequestKind.WRITE, samples=5)
+        assert result.rrt.n == 5
+
+    def test_rrt_scenario_accepts_kind_string(self):
+        result = rrt_scenario(make_test_profile(), "read", samples=5)
+        assert result.rrt.n == 5
+
+    def test_throughput_scenario_splits_requests(self):
+        result = throughput_scenario(
+            make_test_profile(), "write", n_clients=4, total_requests=100
+        )
+        assert result.total_requests == 100
+        assert result.n_clients == 4
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(KeyError):
+            rrt_scenario("atlantis", "read", samples=1)
+
+    def test_deterministic_given_seed(self):
+        a = rrt_scenario(make_test_profile(), "write", samples=10, seed=5)
+        b = rrt_scenario(make_test_profile(), "write", samples=10, seed=5)
+        assert a.rrt.mean == b.rrt.mean
+        c = rrt_scenario("sysnet", "write", samples=10, seed=6)
+        d = rrt_scenario("sysnet", "write", samples=10, seed=7)
+        assert c.rrt.mean != d.rrt.mean  # different jitter draws

@@ -1,0 +1,165 @@
+"""Unit tests for the DES kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        k = Kernel()
+        fired = []
+        k.schedule(0.3, fired.append, "c")
+        k.schedule(0.1, fired.append, "a")
+        k.schedule(0.2, fired.append, "b")
+        k.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking_at_same_time(self):
+        k = Kernel()
+        fired = []
+        for tag in range(10):
+            k.schedule(0.5, fired.append, tag)
+        k.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        k = Kernel()
+        seen = []
+        k.schedule(1.5, lambda: seen.append(k.now))
+        k.run()
+        assert seen == [1.5]
+        assert k.now == 1.5
+
+    def test_schedule_at_absolute(self):
+        k = Kernel()
+        seen = []
+        k.schedule_at(2.0, lambda: seen.append(k.now))
+        k.run()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self):
+        k = Kernel()
+        with pytest.raises(SimulationError):
+            k.schedule(-0.1, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        k = Kernel()
+        k.schedule(1.0, lambda: None)
+        k.run()
+        with pytest.raises(SimulationError):
+            k.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        k = Kernel()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                k.schedule(0.1, chain, n + 1)
+
+        k.schedule(0.0, chain, 0)
+        k.run()
+        assert fired == [0, 1, 2, 3]
+        assert k.now == pytest.approx(0.3)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        k = Kernel()
+        fired = []
+        handle = k.schedule(0.1, fired.append, "x")
+        handle.cancel()
+        k.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        k = Kernel()
+        handle = k.schedule(0.1, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert k.pending == 0
+
+    def test_pending_counts_only_live_events(self):
+        k = Kernel()
+        a = k.schedule(0.1, lambda: None)
+        k.schedule(0.2, lambda: None)
+        assert k.pending == 2
+        a.cancel()
+        assert k.pending == 1
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        k = Kernel()
+        fired = []
+        k.schedule(1.0, fired.append, "early")
+        k.schedule(3.0, fired.append, "late")
+        k.run(until=2.0)
+        assert fired == ["early"]
+        assert k.now == 2.0
+        k.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        k = Kernel()
+        k.run(until=5.0)
+        assert k.now == 5.0
+
+    def test_max_events(self):
+        k = Kernel()
+        fired = []
+        for i in range(5):
+            k.schedule(0.1 * (i + 1), fired.append, i)
+        k.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_run_returns_processed_count(self):
+        k = Kernel()
+        for i in range(4):
+            k.schedule(0.1, lambda: None)
+        assert k.run() == 4
+
+    def test_not_reentrant(self):
+        k = Kernel()
+        errors = []
+
+        def nested():
+            try:
+                k.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        k.schedule(0.1, nested)
+        k.run()
+        assert len(errors) == 1
+
+
+class TestDeterminism:
+    def test_rng_streams_reproducible(self):
+        a = Kernel(seed=7).rng("x")
+        b = Kernel(seed=7).rng("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_rng_streams_independent_by_name(self):
+        k = Kernel(seed=7)
+        assert k.rng("x").random() != k.rng("y").random()
+
+    def test_rng_streams_differ_by_seed(self):
+        assert Kernel(seed=1).rng("x").random() != Kernel(seed=2).rng("x").random()
+
+    def test_identical_schedules_identical_execution(self):
+        def run_once():
+            k = Kernel(seed=3)
+            order = []
+            rng = k.rng("jitter")
+            for i in range(50):
+                k.schedule(rng.random(), order.append, i)
+            k.run()
+            return order
+
+        assert run_once() == run_once()

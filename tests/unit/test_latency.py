@@ -1,0 +1,101 @@
+"""Unit tests for latency models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+
+
+def rng():
+    return random.Random(42)
+
+
+class TestConstant:
+    def test_sample_is_constant(self):
+        m = ConstantLatency(0.05)
+        r = rng()
+        assert {m.sample(r) for _ in range(10)} == {0.05}
+
+    def test_mean(self):
+        assert ConstantLatency(0.25).mean == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestUniform:
+    def test_samples_in_range(self):
+        m = UniformLatency(0.01, 0.02)
+        r = rng()
+        for _ in range(100):
+            assert 0.01 <= m.sample(r) <= 0.02
+
+    def test_mean(self):
+        assert UniformLatency(0.0, 1.0).mean == pytest.approx(0.5)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.02, 0.01)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.1)
+
+
+class TestLogNormal:
+    def test_samples_positive(self):
+        m = LogNormalLatency(0.05, sigma=0.3)
+        r = rng()
+        assert all(m.sample(r) > 0 for _ in range(200))
+
+    def test_zero_sigma_is_constant(self):
+        m = LogNormalLatency(0.05, sigma=0.0)
+        assert m.sample(rng()) == 0.05
+        assert m.mean == 0.05
+
+    def test_median_roughly_respected(self):
+        m = LogNormalLatency(0.1, sigma=0.2)
+        r = rng()
+        samples = sorted(m.sample(r) for _ in range(4001))
+        assert samples[2000] == pytest.approx(0.1, rel=0.05)
+
+    def test_mean_exceeds_median(self):
+        m = LogNormalLatency(0.1, sigma=0.5)
+        assert m.mean > 0.1
+
+    def test_unbounded_right_tail(self):
+        # The asynchronous-system property: no finite bound on delay.
+        m = LogNormalLatency(0.01, sigma=1.0)
+        r = rng()
+        assert max(m.sample(r) for _ in range(5000)) > 0.05
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(0.1, sigma=-1)
+
+
+class TestEmpirical:
+    def test_samples_from_trace(self):
+        m = EmpiricalLatency([0.01, 0.02, 0.03])
+        r = rng()
+        assert {m.sample(r) for _ in range(100)} <= {0.01, 0.02, 0.03}
+
+    def test_mean(self):
+        assert EmpiricalLatency([0.01, 0.03]).mean == pytest.approx(0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalLatency([])
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalLatency([0.01, -0.01])

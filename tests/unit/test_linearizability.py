@@ -1,0 +1,92 @@
+"""Unit tests for the linearizability checker itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.linearizability import Op, check_register
+
+
+class TestBasics:
+    def test_empty_history(self):
+        assert check_register([])
+
+    def test_sequential_write_then_read(self):
+        ops = [
+            Op("write", 1, 0.0, 1.0),
+            Op("read", 1, 2.0, 3.0),
+        ]
+        assert check_register(ops)
+
+    def test_stale_sequential_read_rejected(self):
+        ops = [
+            Op("write", 1, 0.0, 1.0),
+            Op("read", None, 2.0, 3.0),  # must see 1
+        ]
+        assert not check_register(ops, initial=None)
+
+    def test_read_of_initial_value(self):
+        assert check_register([Op("read", 42, 0.0, 1.0)], initial=42)
+        assert not check_register([Op("read", 41, 0.0, 1.0)], initial=42)
+
+    def test_concurrent_read_may_see_either(self):
+        # Read overlaps the write: old or new value both legal.
+        write = Op("write", 1, 0.0, 2.0)
+        assert check_register([write, Op("read", 1, 1.0, 3.0)], initial=0)
+        assert check_register([write, Op("read", 0, 1.0, 3.0)], initial=0)
+
+    def test_read_cannot_travel_back_in_time(self):
+        # w1 completes, then w2 completes, then a read sees w1's value: bad.
+        ops = [
+            Op("write", 1, 0.0, 1.0),
+            Op("write", 2, 2.0, 3.0),
+            Op("read", 1, 4.0, 5.0),
+        ]
+        assert not check_register(ops)
+
+    def test_two_reads_cannot_flip_flop(self):
+        # Classic non-linearizable pattern: r1 sees new, later r2 sees old.
+        ops = [
+            Op("write", 2, 0.0, 10.0),      # long write
+            Op("read", 2, 1.0, 2.0),        # observed the new value...
+            Op("read", 1, 3.0, 4.0),        # ...then the old one: illegal
+        ]
+        assert not check_register(ops, initial=1)
+
+    def test_flip_flop_other_order_is_fine(self):
+        ops = [
+            Op("write", 2, 0.0, 10.0),
+            Op("read", 1, 1.0, 2.0),
+            Op("read", 2, 3.0, 4.0),
+        ]
+        assert check_register(ops, initial=1)
+
+    def test_interleaved_writers(self):
+        ops = [
+            Op("write", "a", 0.0, 3.0),
+            Op("write", "b", 1.0, 2.0),
+            Op("read", "a", 4.0, 5.0),   # a linearized after b
+        ]
+        assert check_register(ops)
+        ops_bad = [
+            Op("write", "a", 0.0, 1.0),
+            Op("write", "b", 2.0, 3.0),
+            Op("read", "a", 4.0, 5.0),
+        ]
+        assert not check_register(ops_bad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Op("swap", 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Op("read", 1, 2.0, 1.0)
+
+    def test_moderate_history_performance(self):
+        # 60 sequential pairs: must finish instantly with memoization.
+        ops = []
+        t = 0.0
+        for i in range(60):
+            ops.append(Op("write", i, t, t + 1))
+            ops.append(Op("read", i, t + 2, t + 3))
+            t += 4
+        assert check_register(ops)

@@ -1,0 +1,148 @@
+"""Unit tests for the strict-2PL lock manager (§3.5 concurrency control)."""
+
+from __future__ import annotations
+
+from repro.core.locks import LockManager
+
+
+def fs(*keys):
+    return frozenset(keys)
+
+
+class TestTryAcquire:
+    def test_acquire_free_keys(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs("a"), fs("b"))
+        assert lm.holds("t1") == fs("a", "b")
+
+    def test_write_write_conflict(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs(), fs("k"))
+        assert not lm.try_acquire("t2", fs(), fs("k"))
+
+    def test_read_write_conflict(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs("k"), fs())
+        assert not lm.try_acquire("t2", fs(), fs("k"))
+
+    def test_write_read_conflict(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs(), fs("k"))
+        assert not lm.try_acquire("t2", fs("k"), fs())
+
+    def test_shared_reads_allowed(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs("k"), fs())
+        assert lm.try_acquire("t2", fs("k"), fs())
+
+    def test_reacquire_own_keys(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs("a"), fs("b"))
+        assert lm.try_acquire("t1", fs("a"), fs("b"))
+
+    def test_upgrade_read_to_write_when_sole_reader(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs("k"), fs())
+        assert lm.try_acquire("t1", fs(), fs("k"))
+        # Now exclusive: others blocked.
+        assert not lm.try_acquire("t2", fs("k"), fs())
+
+    def test_upgrade_blocked_by_other_reader(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs("k"), fs())
+        assert lm.try_acquire("t2", fs("k"), fs())
+        assert not lm.try_acquire("t1", fs(), fs("k"))
+
+    def test_all_or_nothing(self):
+        lm = LockManager()
+        assert lm.try_acquire("t1", fs(), fs("a"))
+        # t2 wants a (conflicts) and b (free): must get neither.
+        assert not lm.try_acquire("t2", fs(), fs("a", "b"))
+        assert lm.holds("t2") == frozenset()
+        assert lm.try_acquire("t3", fs(), fs("b"))
+
+
+class TestRelease:
+    def test_release_frees_keys(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs(), fs("k"))
+        lm.release_all("t1")
+        assert lm.try_acquire("t2", fs(), fs("k"))
+
+    def test_release_unknown_owner_is_noop(self):
+        lm = LockManager()
+        lm.release_all("ghost")
+
+    def test_owners(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs("a"), fs())
+        lm.try_acquire("t2", fs("b"), fs())
+        assert lm.owners() == frozenset({"t1", "t2"})
+        lm.release_all("t1")
+        assert lm.owners() == frozenset({"t2"})
+
+    def test_clear(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs(), fs("k"))
+        lm.acquire_or_wait("w1", fs(), fs("k"), grant=lambda: None)
+        lm.clear()
+        assert lm.owners() == frozenset()
+        assert lm.waiting == 0
+
+
+class TestAcquireOrWait:
+    def test_immediate_grant_when_free(self):
+        lm = LockManager()
+        granted = []
+        assert lm.acquire_or_wait("w1", fs(), fs("k"), grant=lambda: granted.append(1))
+        assert granted == []  # no callback when granted synchronously
+        assert lm.holds("w1") == fs("k")
+
+    def test_waiter_granted_on_release(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs(), fs("k"))
+        granted = []
+        assert not lm.acquire_or_wait("w1", fs(), fs("k"), grant=lambda: granted.append(1))
+        assert lm.waiting == 1
+        lm.release_all("t1")
+        assert granted == [1]
+        assert lm.holds("w1") == fs("k")
+        assert lm.waiting == 0
+
+    def test_fifo_wakeup(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs(), fs("k"))
+        order = []
+        lm.acquire_or_wait("w1", fs(), fs("k"), grant=lambda: order.append("w1"))
+        lm.acquire_or_wait("w2", fs(), fs("k"), grant=lambda: order.append("w2"))
+        lm.release_all("t1")
+        # w1 is granted first; w2 waits for w1.
+        assert order == ["w1"]
+        lm.release_all("w1")
+        assert order == ["w1", "w2"]
+
+    def test_independent_waiters_both_wake(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs(), fs("a", "b"))
+        order = []
+        lm.acquire_or_wait("w1", fs(), fs("a"), grant=lambda: order.append("w1"))
+        lm.acquire_or_wait("w2", fs(), fs("b"), grant=lambda: order.append("w2"))
+        lm.release_all("t1")
+        assert sorted(order) == ["w1", "w2"]
+
+    def test_drop_waiters(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs(), fs("k"))
+        granted = []
+        lm.acquire_or_wait("w1", fs(), fs("k"), grant=lambda: granted.append(1))
+        lm.drop_waiters("w1")
+        lm.release_all("t1")
+        assert granted == []
+
+    def test_consistency_invariant(self):
+        lm = LockManager()
+        lm.try_acquire("t1", fs("a"), fs("b"))
+        lm.try_acquire("t2", fs("a"), fs())
+        lm.assert_consistent()
+        lm.release_all("t1")
+        lm.assert_consistent()

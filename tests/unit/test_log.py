@@ -1,0 +1,180 @@
+"""Unit tests for the replica log (§3.3 retention and recovery queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ballot import Ballot, ProposalNumber
+from repro.core.log import ReplicaLog
+from repro.core.messages import Proposal
+from repro.core.requests import ClientRequest, RequestId
+from repro.core.state import StatePayload
+from repro.errors import ProtocolError
+from repro.types import RequestKind, StateTransferMode
+
+
+def proposal(tag: str) -> Proposal:
+    request = ClientRequest(
+        rid=RequestId(f"client-{tag}", 0), kind=RequestKind.WRITE, op=("write",)
+    )
+    return Proposal(
+        requests=(request,),
+        payload=StatePayload(StateTransferMode.FULL, tag),
+        reply=tag,
+    )
+
+
+def pn(round_: int, instance: int, leader: str = "r0") -> ProposalNumber:
+    return ProposalNumber(Ballot(round_, leader), instance)
+
+
+class TestAccept:
+    def test_accept_records_entry(self):
+        log = ReplicaLog()
+        log.accept(pn(1, 1), proposal("a"))
+        entry = log.accepted_entry(1)
+        assert entry is not None and entry.value.reply == "a"
+
+    def test_higher_pn_overwrites(self):
+        log = ReplicaLog()
+        log.accept(pn(1, 1), proposal("old"))
+        log.accept(pn(2, 1), proposal("new"))
+        assert log.accepted_entry(1).value.reply == "new"
+
+    def test_lower_pn_ignored(self):
+        log = ReplicaLog()
+        log.accept(pn(2, 1), proposal("new"))
+        log.accept(pn(1, 1), proposal("old"))
+        assert log.accepted_entry(1).value.reply == "new"
+
+    def test_instances_are_one_based(self):
+        log = ReplicaLog()
+        with pytest.raises(ProtocolError):
+            log.accept(pn(1, 0), proposal("x"))
+
+
+class TestChoose:
+    def test_frontier_advances_contiguously(self):
+        log = ReplicaLog()
+        log.choose(1, proposal("a"))
+        assert log.frontier == 1
+        log.choose(3, proposal("c"))
+        assert log.frontier == 1  # gap at 2
+        log.choose(2, proposal("b"))
+        assert log.frontier == 3
+
+    def test_choose_idempotent(self):
+        log = ReplicaLog()
+        p = proposal("a")
+        log.choose(1, p)
+        log.choose(1, p)
+        assert log.frontier == 1
+
+    def test_conflicting_choice_raises(self):
+        log = ReplicaLog()
+        log.choose(1, proposal("a"))
+        with pytest.raises(ProtocolError):
+            log.choose(1, proposal("b"))
+
+    def test_is_chosen(self):
+        log = ReplicaLog()
+        log.choose(1, proposal("a"))
+        assert log.is_chosen(1)
+        assert not log.is_chosen(2)
+
+    def test_chosen_above(self):
+        log = ReplicaLog()
+        for i in (1, 2, 4):
+            log.choose(i, proposal(str(i)))
+        above = log.chosen_above(1)
+        assert [i for i, _v in above] == [2, 4]
+
+
+class TestRecoveryQueries:
+    def test_gaps_matches_paper_example(self):
+        # "Assume the leader knows requests 1-87 and 90": gaps are 88, 89.
+        log = ReplicaLog()
+        for i in range(1, 88):
+            log.choose(i, proposal(str(i)))
+        log.choose(90, proposal("90"))
+        assert log.gaps() == (88, 89)
+        assert log.max_instance_chosen() == 90
+
+    def test_gaps_empty_when_contiguous(self):
+        log = ReplicaLog()
+        log.choose(1, proposal("a"))
+        assert log.gaps() == ()
+
+    def test_gaps_empty_log(self):
+        assert ReplicaLog().gaps() == ()
+        assert ReplicaLog().max_instance_chosen() == 0
+
+    def test_promise_entries_covers_gaps_and_tail(self):
+        log = ReplicaLog()
+        for i in (2, 5, 6):
+            log.accept(pn(1, i), proposal(str(i)))
+        entries = log.promise_entries(gaps=(2,), from_instance=6)
+        assert [e.pn.instance for e in entries] == [2, 6]
+
+    def test_promise_entries_empty_range(self):
+        log = ReplicaLog()
+        log.accept(pn(1, 1), proposal("a"))
+        assert log.promise_entries(gaps=(), from_instance=5) == ()
+
+    def test_max_instance_includes_accepted(self):
+        log = ReplicaLog()
+        log.accept(pn(1, 7), proposal("x"))
+        assert log.max_instance() == 7
+
+
+class TestCompaction:
+    def filled_log(self, upto=5):
+        log = ReplicaLog()
+        for i in range(1, upto + 1):
+            log.accept(pn(1, i), proposal(str(i)))
+            log.choose(i, proposal(str(i)))
+        return log
+
+    def test_compact_drops_entries(self):
+        log = self.filled_log()
+        dropped = log.compact(3)
+        assert dropped == 6  # 3 chosen + 3 accepted
+        assert log.chosen_value(3) is None
+        assert log.chosen_value(4) is not None
+        assert log.compacted_to == 3
+
+    def test_compact_beyond_frontier_rejected(self):
+        log = self.filled_log()
+        with pytest.raises(ProtocolError):
+            log.compact(6)
+
+    def test_compacted_instances_count_as_chosen(self):
+        log = self.filled_log()
+        log.compact(3)
+        assert log.is_chosen(2)
+
+    def test_gaps_respect_compaction(self):
+        log = self.filled_log()
+        log.compact(3)
+        log.choose(7, proposal("7"))
+        assert log.gaps() == (6,)
+
+    def test_install_prefix_jumps_frontier(self):
+        log = ReplicaLog()
+        log.choose(5, proposal("5"))  # gap below
+        log.install_prefix(4)
+        assert log.frontier == 5  # extends over the already-chosen 5
+        assert log.compacted_to == 4
+
+    def test_install_prefix_noop_when_behind(self):
+        log = self.filled_log()
+        log.install_prefix(2)
+        assert log.frontier == 5
+        # Entries above the prefix survive.
+        assert log.chosen_value(5) is not None
+
+    def test_frontier_skips_compacted(self):
+        log = self.filled_log()
+        log.compact(5)
+        log.choose(6, proposal("6"))
+        assert log.frontier == 6

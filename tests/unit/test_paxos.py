@@ -1,0 +1,162 @@
+"""Unit tests for single-decree classic Paxos (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ballot import Ballot
+from repro.core.paxos import (
+    P1a,
+    P1b,
+    P2a,
+    P2b,
+    PNack,
+    PaxosAcceptor,
+    PaxosLearner,
+    PaxosProposer,
+)
+from repro.errors import ProtocolError
+
+PEERS = ("a0", "a1", "a2")
+
+
+def run_round(proposer, acceptors, ballot):
+    """Drive one full round synchronously; returns True if chosen."""
+    prepare = proposer.start(ballot)
+    accept_msg = None
+    for acceptor in acceptors:
+        response = acceptor.on_prepare(prepare)
+        if isinstance(response, P1b):
+            maybe = proposer.on_promise(acceptor.pid, response)
+            if maybe is not None:
+                accept_msg = maybe
+        else:
+            proposer.on_nack(acceptor.pid, response)
+    if accept_msg is None:
+        return False
+    chosen = False
+    for acceptor in acceptors:
+        response = acceptor.on_accept(accept_msg)
+        if isinstance(response, P2b):
+            chosen |= proposer.on_accepted(acceptor.pid, response)
+        else:
+            proposer.on_nack(acceptor.pid, response)
+    return chosen
+
+
+class TestHappyPath:
+    def test_value_chosen(self):
+        acceptors = [PaxosAcceptor(p) for p in PEERS]
+        proposer = PaxosProposer("a0", PEERS, value="v")
+        assert run_round(proposer, acceptors, Ballot(1, "a0"))
+        assert proposer.chosen == "v"
+
+    def test_majority_suffices(self):
+        acceptors = [PaxosAcceptor(p) for p in PEERS]
+        proposer = PaxosProposer("a0", PEERS, value="v")
+        prepare = proposer.start(Ballot(1, "a0"))
+        accept = None
+        for acceptor in acceptors[:2]:  # only 2 of 3 respond
+            accept = proposer.on_promise(acceptor.pid, acceptor.on_prepare(prepare)) or accept
+        assert accept is not None
+        done = False
+        for acceptor in acceptors[:2]:
+            done |= proposer.on_accepted(acceptor.pid, acceptor.on_accept(accept))
+        assert done
+
+    def test_single_acceptor_cluster(self):
+        acceptors = [PaxosAcceptor("a0")]
+        proposer = PaxosProposer("a0", ("a0",), value=1)
+        assert run_round(proposer, acceptors, Ballot(1, "a0"))
+
+
+class TestSafetyRules:
+    def test_acceptor_rejects_lower_prepare(self):
+        acceptor = PaxosAcceptor("a0")
+        acceptor.on_prepare(P1a(Ballot(5, "x")))
+        response = acceptor.on_prepare(P1a(Ballot(3, "y")))
+        assert isinstance(response, PNack)
+        assert response.promised == Ballot(5, "x")
+
+    def test_acceptor_rejects_lower_accept(self):
+        acceptor = PaxosAcceptor("a0")
+        acceptor.on_prepare(P1a(Ballot(5, "x")))
+        response = acceptor.on_accept(P2a(Ballot(3, "y"), "v"))
+        assert isinstance(response, PNack)
+
+    def test_acceptor_accepts_equal_ballot(self):
+        acceptor = PaxosAcceptor("a0")
+        acceptor.on_prepare(P1a(Ballot(5, "x")))
+        assert isinstance(acceptor.on_accept(P2a(Ballot(5, "x"), "v")), P2b)
+
+    def test_new_leader_adopts_accepted_value(self):
+        # §3.2: "p can only propose a new proposal that is consistent with
+        # the existing ones."
+        acceptors = [PaxosAcceptor(p) for p in PEERS]
+        first = PaxosProposer("a0", PEERS, value="old")
+        assert run_round(first, acceptors, Ballot(1, "a0"))
+        second = PaxosProposer("a1", PEERS, value="new")
+        assert run_round(second, acceptors, Ballot(2, "a1"))
+        assert second.chosen == "old"  # not "new"
+
+    def test_highest_ballot_accepted_value_wins(self):
+        # Footnote 1: adopt the value of the highest ballot number seen.
+        a0, a1, a2 = (PaxosAcceptor(p) for p in PEERS)
+        a0.accepted = (Ballot(1, "x"), "low")
+        a1.accepted = (Ballot(3, "y"), "high")
+        proposer = PaxosProposer("a2", PEERS, value="own")
+        prepare = proposer.start(Ballot(5, "a2"))
+        proposer.on_promise("a0", a0.on_prepare(prepare))
+        accept = proposer.on_promise("a1", a1.on_prepare(prepare))
+        assert accept is not None and accept.value == "high"
+
+    def test_proposer_preempted_records_higher_ballot(self):
+        acceptors = [PaxosAcceptor(p) for p in PEERS]
+        for acceptor in acceptors:
+            acceptor.on_prepare(P1a(Ballot(9, "z")))
+        proposer = PaxosProposer("a0", PEERS, value="v")
+        assert not run_round(proposer, acceptors, Ballot(1, "a0"))
+        assert proposer.preempted_by == Ballot(9, "z")
+
+    def test_wrong_ballot_owner_rejected(self):
+        proposer = PaxosProposer("a0", PEERS, value="v")
+        with pytest.raises(ProtocolError):
+            proposer.start(Ballot(1, "a1"))
+
+    def test_stale_promise_ignored(self):
+        proposer = PaxosProposer("a0", PEERS, value="v")
+        proposer.start(Ballot(2, "a0"))
+        stale = P1b(ballot=Ballot(1, "a0"), accepted=None)
+        assert proposer.on_promise("a1", stale) is None
+
+
+class TestLearner:
+    def test_learns_on_majority(self):
+        learner = PaxosLearner(PEERS)
+        b = Ballot(1, "a0")
+        assert not learner.on_accepted("a0", b, "v")
+        assert learner.on_accepted("a1", b, "v")
+        assert learner.chosen == "v"
+
+    def test_minority_not_chosen(self):
+        learner = PaxosLearner(PEERS)
+        learner.on_accepted("a0", Ballot(1, "a0"), "v")
+        assert learner.chosen is None
+
+    def test_conflicting_choices_detected(self):
+        # This cannot happen under Paxos; the learner is the tripwire the
+        # property tests rely on.
+        learner = PaxosLearner(PEERS)
+        learner.on_accepted("a0", Ballot(1, "a0"), "v1")
+        learner.on_accepted("a1", Ballot(1, "a0"), "v1")
+        learner.on_accepted("a0", Ballot(2, "a1"), "v2")
+        with pytest.raises(ProtocolError):
+            learner.on_accepted("a1", Ballot(2, "a1"), "v2")
+
+    def test_same_value_at_higher_ballot_ok(self):
+        learner = PaxosLearner(PEERS)
+        learner.on_accepted("a0", Ballot(1, "a0"), "v")
+        learner.on_accepted("a1", Ballot(1, "a0"), "v")
+        learner.on_accepted("a1", Ballot(2, "a1"), "v")
+        assert learner.on_accepted("a2", Ballot(2, "a1"), "v")
+        assert learner.chosen == "v"

@@ -1,0 +1,100 @@
+"""Unit tests for the calibrated deployment profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.profiles import (
+    PROFILES,
+    NetworkProfile,
+    WAN_LATENCY,
+    berkeley_princeton,
+    get_profile,
+    sysnet,
+    wan,
+)
+
+
+class TestRegistry:
+    def test_all_profiles_buildable(self):
+        for name in PROFILES:
+            profile = get_profile(name)
+            assert isinstance(profile, NetworkProfile)
+            topo = profile.build_topology(("r0", "r1", "r2"), ("c0", "c1"))
+            # Every replica/client pair must have a link.
+            for a in ("r0", "r1", "r2", "c0", "c1"):
+                for b in ("r0", "r1", "r2", "c0", "c1"):
+                    assert topo.link_spec(a, b) is not None
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(KeyError, match="sysnet"):
+            get_profile("bogus")
+
+
+class TestSysnet:
+    def test_servers_share_a_site(self):
+        topo = sysnet().build_topology(("r0", "r1", "r2"), ("c0",))
+        assert topo.site_of("r0") == topo.site_of("r2") == "servers"
+        assert topo.site_of("c0") == "clients"
+
+    def test_server_link_faster_than_client_link(self):
+        topo = sysnet().build_topology(("r0", "r1"), ("c0",))
+        assert topo.mean_latency("r0", "r1") < topo.mean_latency("c0", "r0")
+
+    def test_paper_numbers_recorded(self):
+        assert sysnet().paper_rrt["write"] == pytest.approx(0.338e-3)
+
+
+class TestWan:
+    def test_leader_at_uiuc(self):
+        topo = wan().build_topology(("r0", "r1", "r2"), ("c0", "c1"))
+        assert topo.site_of("r0") == "uiuc"
+        assert topo.site_of("r1") == "utah"
+        assert topo.site_of("r2") == "texas"
+
+    def test_clients_alternate_sites(self):
+        topo = wan().build_topology(("r0", "r1", "r2"), ("c0", "c1", "c2"))
+        assert topo.site_of("c0") == "berkeley"
+        assert topo.site_of("c1") == "oregon"
+        assert topo.site_of("c2") == "berkeley"
+
+    def test_extra_replicas_wrap_sites(self):
+        topo = wan().build_topology(tuple(f"r{i}" for i in range(5)), ("c0",))
+        assert topo.site_of("r3") == "uiuc"
+        assert topo.site_of("r4") == "utah"
+
+    def test_latency_matrix_symmetric_lookup(self):
+        topo = wan().build_topology(("r0", "r1", "r2"), ("c0",))
+        assert topo.mean_latency("r0", "r1") == pytest.approx(
+            topo.mean_latency("r1", "r0")
+        )
+
+    def test_calibration_identities(self):
+        """The pinned latencies reproduce the paper's RRTs analytically."""
+        m_client_leader = WAN_LATENCY[("berkeley", "uiuc")]
+        m_fast_backup = WAN_LATENCY[("uiuc", "texas")]
+        confirm_path = WAN_LATENCY[("berkeley", "utah")] + WAN_LATENCY[("uiuc", "utah")]
+        assert 2 * m_client_leader == pytest.approx(70.82e-3, rel=0.01)
+        assert 2 * m_client_leader + 2 * m_fast_backup == pytest.approx(106.73e-3, rel=0.01)
+        assert confirm_path + m_client_leader == pytest.approx(75.49e-3, rel=0.01)
+
+
+class TestBerkeleyPrinceton:
+    def test_replicas_colocated(self):
+        topo = berkeley_princeton().build_topology(("r0", "r1", "r2"), ("c0",))
+        assert {topo.site_of(f"r{i}") for i in range(3)} == {"princeton"}
+
+    def test_m_much_smaller_than_M(self):
+        topo = berkeley_princeton().build_topology(("r0", "r1"), ("c0",))
+        assert topo.mean_latency("r0", "r1") < topo.mean_latency("c0", "r0") / 50
+
+
+class TestCpuScaling:
+    def test_replica_cpu_for_adds_per_connection_overhead(self):
+        profile = sysnet()
+        base = profile.replica_cpu
+        scaled = profile.replica_cpu_for(64)
+        assert scaled.extra_per_message == pytest.approx(
+            profile.per_connection_overhead * 64
+        )
+        assert scaled.send_cost == base.send_cost

@@ -1,0 +1,75 @@
+"""Unit tests for the closed-loop queueing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import ClosedSystem, sysnet_model
+
+
+class TestBounds:
+    def test_linear_region(self):
+        system = ClosedSystem(think=1.0, service=0.01)
+        assert system.throughput_upper_bound(5) == pytest.approx(5 / 1.01)
+
+    def test_saturation_region(self):
+        system = ClosedSystem(think=1.0, service=0.01)
+        assert system.throughput_upper_bound(1000) == pytest.approx(100.0)
+
+    def test_saturation_point(self):
+        system = ClosedSystem(think=1.0, service=0.01)
+        assert system.saturation_clients() == pytest.approx(101.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosedSystem(think=-1.0, service=0.01)
+        with pytest.raises(ValueError):
+            ClosedSystem(think=1.0, service=0.0)
+
+
+class TestMVA:
+    def test_zero_clients(self):
+        system = ClosedSystem(think=1.0, service=0.01)
+        assert system.mva(0) == (0.0, 0.0)
+
+    def test_single_client_no_queueing(self):
+        system = ClosedSystem(think=1.0, service=0.01)
+        throughput, at_server = system.mva(1)
+        assert at_server == pytest.approx(0.01)
+        assert throughput == pytest.approx(1 / 1.01)
+
+    def test_mva_below_upper_bound(self):
+        system = ClosedSystem(think=0.5, service=0.02)
+        for clients in (1, 5, 20, 100):
+            assert system.throughput(clients) <= system.throughput_upper_bound(clients) + 1e-9
+
+    def test_mva_monotone_in_clients(self):
+        system = ClosedSystem(think=0.5, service=0.02)
+        values = [system.throughput(c) for c in range(1, 60)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_mva_approaches_saturation(self):
+        system = ClosedSystem(think=0.5, service=0.02)
+        assert system.throughput(500) == pytest.approx(50.0, rel=0.01)
+
+    def test_response_time_grows_past_saturation(self):
+        system = ClosedSystem(think=0.5, service=0.02)
+        assert system.response_time(100) > system.response_time(1) * 2
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ValueError):
+            ClosedSystem(1.0, 0.01).mva(-1)
+
+
+class TestSysnetMapping:
+    def test_original_single_client_rrt_matches_paper(self):
+        model = sysnet_model("original")
+        assert model.response_time(1) == pytest.approx(0.181e-3, rel=0.05)
+
+    def test_kind_ordering_of_demands(self):
+        demands = {k: sysnet_model(k).service for k in ("original", "read", "write")}
+        assert demands["original"] < demands["read"] <= demands["write"]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            sysnet_model("bogus")

@@ -1,0 +1,83 @@
+"""Unit tests for request ids and the at-most-once table."""
+
+from __future__ import annotations
+
+from repro.core.requests import ClientRequest, ExecutedTable, RequestId
+from repro.types import RequestKind
+
+
+class TestRequestId:
+    def test_equality_and_hash(self):
+        assert RequestId("c0", 1) == RequestId("c0", 1)
+        assert RequestId("c0", 1) != RequestId("c0", 2)
+        assert RequestId("c0", 1) != RequestId("c1", 1)
+        assert len({RequestId("c0", 1), RequestId("c0", 1)}) == 1
+
+    def test_str(self):
+        assert str(RequestId("c0", 7)) == "c0#7"
+
+
+class TestClientRequest:
+    def test_str_includes_txn(self):
+        r = ClientRequest(RequestId("c0", 1), RequestKind.TXN_OP, op=("x",), txn="t1")
+        assert "txn=t1" in str(r)
+
+    def test_kind_transactional(self):
+        assert RequestKind.TXN_OP.is_transactional
+        assert RequestKind.TXN_COMMIT.is_transactional
+        assert RequestKind.TXN_ABORT.is_transactional
+        assert not RequestKind.WRITE.is_transactional
+        assert not RequestKind.READ.is_transactional
+
+
+class TestExecutedTable:
+    def test_lookup_hit(self):
+        table = ExecutedTable()
+        table.record(RequestId("c0", 1), "reply-1")
+        executed, value = table.lookup(RequestId("c0", 1))
+        assert executed and value == "reply-1"
+
+    def test_lookup_miss(self):
+        table = ExecutedTable()
+        executed, value = table.lookup(RequestId("c0", 1))
+        assert not executed and value is None
+
+    def test_newer_request_replaces(self):
+        table = ExecutedTable()
+        table.record(RequestId("c0", 1), "one")
+        table.record(RequestId("c0", 2), "two")
+        assert table.lookup(RequestId("c0", 2)) == (True, "two")
+        assert table.lookup(RequestId("c0", 1)) == (False, None)
+        assert table.is_stale(RequestId("c0", 1))
+
+    def test_out_of_order_record_ignored(self):
+        # Closed-loop clients cannot regress; a late older record must not
+        # clobber the newer reply.
+        table = ExecutedTable()
+        table.record(RequestId("c0", 5), "five")
+        table.record(RequestId("c0", 3), "three")
+        assert table.lookup(RequestId("c0", 5)) == (True, "five")
+
+    def test_clients_independent(self):
+        table = ExecutedTable()
+        table.record(RequestId("c0", 1), "a")
+        table.record(RequestId("c1", 9), "b")
+        assert table.lookup(RequestId("c0", 1)) == (True, "a")
+        assert table.lookup(RequestId("c1", 9)) == (True, "b")
+
+    def test_snapshot_restore_roundtrip(self):
+        table = ExecutedTable()
+        table.record(RequestId("c0", 1), "a")
+        snap = table.snapshot()
+        other = ExecutedTable()
+        other.restore(snap)
+        assert other.lookup(RequestId("c0", 1)) == (True, "a")
+        # Snapshot is a copy, not a view.
+        table.record(RequestId("c0", 2), "b")
+        assert other.lookup(RequestId("c0", 2)) == (False, None)
+
+    def test_is_stale_false_for_latest_and_future(self):
+        table = ExecutedTable()
+        table.record(RequestId("c0", 1), "a")
+        assert not table.is_stale(RequestId("c0", 1))
+        assert not table.is_stale(RequestId("c0", 2))

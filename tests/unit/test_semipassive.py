@@ -1,0 +1,101 @@
+"""Unit tests for the semi-passive replication study harness (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semipassive import SemiPassiveGroup
+from repro.errors import ProtocolError
+from repro.services.counter import CounterService
+from repro.services.kvstore import KVStoreService
+
+PEERS = ("p0", "p1", "p2")
+
+
+def counter_group(seed=0):
+    return SemiPassiveGroup(PEERS, CounterService, seed=seed)
+
+
+class TestHappyPath:
+    def test_request_replicates_everywhere(self):
+        group = counter_group()
+        assert group.submit(("add", 5)) == 5
+        assert set(group.fingerprints().values()) == {5}
+
+    def test_sequence_of_requests(self):
+        group = counter_group()
+        for i in range(1, 6):
+            group.submit(("add", 1))
+        assert set(group.fingerprints().values()) == {5}
+        assert len(group.decisions) == 5
+
+    def test_nondeterministic_request_single_outcome(self):
+        # Only ONE execution's outcome replicates, even though execution is
+        # nondeterministic — the semi-passive analogue of the paper's claim.
+        group = counter_group(seed=9)
+        reply = group.submit(("add_random", 1, 1000))
+        prints = set(group.fingerprints().values())
+        assert prints == {reply}
+
+    def test_kvstore_group(self):
+        group = SemiPassiveGroup(PEERS, KVStoreService)
+        group.submit(("put", "k", 1))
+        group.submit(("put", "j", 2))
+        expected = tuple(sorted({"k": 1, "j": 2}.items()))
+        assert set(group.fingerprints().values()) == {expected}
+
+    def test_lazy_execution_happens_once_in_failure_free_case(self):
+        group = counter_group()
+        group.submit(("add", 1))
+        assert group.stats.executions == 1
+
+    def test_four_delays_per_failure_free_request(self):
+        group = counter_group()
+        group.submit(("add", 1))
+        group.submit(("add", 1))
+        assert group.stats.delays_per_request == [4, 4]
+
+
+class TestCoordinatorFailure:
+    def test_crashed_round0_coordinator_rotates(self):
+        group = counter_group()
+        group.crash("p0")
+        assert group.submit(("add", 3)) == 3
+        alive_prints = set(group.fingerprints().values())
+        assert alive_prints == {3}
+        # The instance cost more than the failure-free 4 delays.
+        assert group.stats.delays_per_request[0] > 4
+
+    def test_two_consecutive_crashed_coordinators_block_majority(self):
+        group = counter_group()
+        group.crash("p0")
+        group.crash("p1")
+        with pytest.raises(ProtocolError):
+            group.submit(("add", 1))
+
+    def test_recovered_process_resyncs(self):
+        group = counter_group()
+        group.submit(("add", 2))
+        group.crash("p2")
+        group.submit(("add", 3))
+        group.recover("p2")
+        assert group.services["p2"].value == 5
+        group.submit(("add", 1))
+        assert set(group.fingerprints().values()) == {6}
+
+    def test_crash_then_requests_keep_flowing(self):
+        group = counter_group()
+        group.crash("p1")
+        for _ in range(4):
+            group.submit(("add", 1))
+        assert set(group.fingerprints().values()) == {4}
+
+
+class TestStats:
+    def test_message_count_grows_per_request(self):
+        group = counter_group()
+        group.submit(("add", 1))
+        first = group.stats.messages
+        group.submit(("add", 1))
+        assert group.stats.messages > first
+        assert group.stats.rounds >= 2

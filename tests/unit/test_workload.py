@@ -1,0 +1,86 @@
+"""Unit tests for workload/step generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.workload import Step, paper_txn_steps, single_kind_steps, txn_steps
+from repro.types import RequestKind
+
+
+class TestSingleKindSteps:
+    def test_count_and_kind(self):
+        steps = single_kind_steps(RequestKind.WRITE, 5)
+        assert len(steps) == 5
+        assert all(len(s.requests) == 1 for s in steps)
+        assert all(s.requests[0][0] is RequestKind.WRITE for s in steps)
+
+    def test_default_op_matches_kind(self):
+        (step,) = single_kind_steps(RequestKind.READ, 1)
+        assert step.requests[0][1] == ("read",)
+
+    def test_op_factory(self):
+        steps = single_kind_steps(RequestKind.WRITE, 3, op=lambda i: ("put", i, i))
+        assert steps[2].requests[0][1] == ("put", 2, 2)
+
+    def test_fixed_op(self):
+        steps = single_kind_steps(RequestKind.WRITE, 2, op=("put", "k", 1))
+        assert all(s.requests[0][1] == ("put", "k", 1) for s in steps)
+
+
+class TestTxnSteps:
+    def test_optimized_shape(self):
+        (step,) = txn_steps(1, [("a",), ("b",)], optimized=True)
+        kinds = [k for k, _op in step.requests]
+        assert kinds == [RequestKind.TXN_OP, RequestKind.TXN_OP, RequestKind.TXN_COMMIT]
+        assert step.transactional
+
+    def test_unoptimized_shape(self):
+        (step,) = txn_steps(1, [("a",), ("b",)], optimized=False, read_flags=[True, False])
+        kinds = [k for k, _op in step.requests]
+        # read, write, plus the commit request (a write).
+        assert kinds == [RequestKind.READ, RequestKind.WRITE, RequestKind.WRITE]
+        assert not step.transactional
+
+    def test_read_flags_length_checked(self):
+        with pytest.raises(ValueError):
+            txn_steps(1, [("a",)], optimized=False, read_flags=[True, False])
+
+    def test_ops_factory(self):
+        steps = txn_steps(2, lambda i: [("op", i)], optimized=True)
+        assert steps[1].requests[0][1] == ("op", 1)
+
+
+class TestPaperTxnSteps:
+    def test_read_write_3_is_2r1w(self):
+        (step,) = paper_txn_steps("read_write", 3, 1)
+        kinds = [k for k, _op in step.requests]
+        assert kinds.count(RequestKind.READ) == 2
+        assert kinds.count(RequestKind.WRITE) == 2  # 1 op + commit
+        assert len(kinds) == 4
+
+    def test_read_write_5_is_3r2w(self):
+        (step,) = paper_txn_steps("read_write", 5, 1)
+        kinds = [k for k, _op in step.requests]
+        assert kinds.count(RequestKind.READ) == 3
+        assert kinds.count(RequestKind.WRITE) == 3  # 2 ops + commit
+
+    def test_write_only(self):
+        (step,) = paper_txn_steps("write_only", 3, 1)
+        kinds = [k for k, _op in step.requests]
+        assert kinds == [RequestKind.WRITE] * 4
+
+    def test_optimized(self):
+        (step,) = paper_txn_steps("optimized", 5, 1)
+        kinds = [k for k, _op in step.requests]
+        assert kinds == [RequestKind.TXN_OP] * 5 + [RequestKind.TXN_COMMIT]
+        assert step.transactional
+
+    def test_count(self):
+        assert len(paper_txn_steps("optimized", 3, 7)) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_txn_steps("bogus", 3, 1)
+        with pytest.raises(ValueError):
+            paper_txn_steps("optimized", 0, 1)
