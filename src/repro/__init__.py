@@ -31,6 +31,8 @@ from repro.core.requests import ClientRequest, RequestId
 from repro.election.omega import OmegaElector
 from repro.election.static import ManualElectorGroup, StaticElector
 from repro.net.profiles import berkeley_princeton, get_profile, sysnet, wan
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import RunExport, export_run, load_export
 from repro.services.base import ExecutionContext, ExecutionResult, Service
 from repro.types import ReplyStatus, RequestKind, StateTransferMode
 
@@ -46,6 +48,7 @@ __all__ = [
     "ExecutionResult",
     "FaultSchedule",
     "ManualElectorGroup",
+    "MetricsRegistry",
     "MultiPaxosReplica",
     "OmegaElector",
     "ProposalNumber",
@@ -55,6 +58,7 @@ __all__ = [
     "ReplyStatus",
     "RequestId",
     "RequestKind",
+    "RunExport",
     "RunResult",
     "Service",
     "StateTransferMode",
@@ -62,6 +66,8 @@ __all__ = [
     "Step",
     "berkeley_princeton",
     "collect",
+    "export_run",
+    "load_export",
     "multipaxos_config",
     "get_profile",
     "paper_txn_steps",

@@ -194,6 +194,45 @@ def build_experiments_report(quick: bool = False) -> str:
     return body
 
 
+def run_command(args: argparse.Namespace) -> int:
+    """One instrumented run: print the result summary, optionally export the
+    JSONL timeline for ``repro report``."""
+    from repro.client.workload import single_kind_steps
+    from repro.cluster.harness import Cluster, ClusterSpec
+    from repro.cluster.metrics import collect
+    from repro.types import RequestKind
+
+    profile = get_profile(args.profile)
+    kind = RequestKind(args.kind)
+    per_client = max(1, args.requests // args.clients)
+    spec = ClusterSpec(profile=profile, seed=args.seed, trace=args.trace)
+    steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
+    cluster = Cluster(spec, steps)
+    cluster.run()
+    print(collect(cluster).describe())
+    if args.export:
+        path = cluster.export_timeline(args.export)
+        print(f"timeline: {path}")
+    return 0
+
+
+def report_command(args: argparse.Namespace) -> int:
+    """Render tables from one JSONL export, or compare two."""
+    from repro.obs.report import render_comparison, render_report
+    from repro.obs.timeline import load_export
+
+    try:
+        exports = [load_export(path) for path in args.paths]
+    except (OSError, ValueError) as exc:
+        print(f"repro report: error: {exc}", file=sys.stderr)
+        return 2
+    if len(exports) == 1:
+        print(render_report(exports[0]))
+    else:
+        print(render_comparison(exports[0], exports[1]))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -212,6 +251,33 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     sub.add_parser("profiles", help="list the calibrated deployment profiles")
 
+    run = sub.add_parser(
+        "run", help="one instrumented run; export its timeline with --export"
+    )
+    run.add_argument(
+        "--profile", default="sysnet", choices=sorted(PROFILES),
+        help="deployment profile (default: sysnet)",
+    )
+    run.add_argument(
+        "--kind", default="write", choices=KINDS,
+        help="request kind for every client (default: write)",
+    )
+    run.add_argument("--requests", type=int, default=100,
+                     help="total requests across all clients (default: 100)")
+    run.add_argument("--clients", type=int, default=1,
+                     help="closed-loop client count (default: 1)")
+    run.add_argument("--seed", type=int, default=0, help="simulation seed")
+    run.add_argument("--export", metavar="PATH",
+                     help="write the JSONL timeline here (for 'repro report')")
+    run.add_argument("--trace", action="store_true",
+                     help="also record (and export) per-message trace events")
+
+    report = sub.add_parser(
+        "report", help="render tables from a JSONL export (two paths: compare)"
+    )
+    report.add_argument("paths", nargs="+", metavar="EXPORT",
+                        help="one export to report on, or two to compare")
+
     args = parser.parse_args(argv)
     if args.command == "experiments":
         print(build_experiments_report(quick=args.quick))
@@ -223,6 +289,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             for kind, value in profile.paper_rrt.items():
                 print(f"    paper {kind} RRT: {value * 1e3:.3f} ms")
         return 0
+    if args.command == "run":
+        return run_command(args)
+    if args.command == "report":
+        if len(args.paths) > 2:
+            parser.error("report takes one export, or two to compare")
+        return report_command(args)
     raise AssertionError("unreachable")
 
 

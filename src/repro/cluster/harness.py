@@ -23,6 +23,7 @@ from repro.election.static import ManualElectorGroup, StaticElector
 from repro.errors import ConfigError, SimulationError
 from repro.net.network import SimNetwork
 from repro.net.profiles import NetworkProfile
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.services.base import Service
 from repro.services.noop import NoopService
 from repro.sim.kernel import Kernel
@@ -88,6 +89,14 @@ class ClusterSpec:
     connection_scaling: bool = True
     start_at: float = 0.001
     trace: bool = False
+    #: Record counters/histograms into a :class:`repro.obs.MetricsRegistry`.
+    #: On by default so every harness run (and benchmark) gets per-message
+    #: accounting for free; recording is passive and cannot perturb the
+    #: schedule (see tests/integration/test_obs_determinism.py).
+    metrics: bool = True
+    #: Also account encoded wire bytes per message type (one pickle per
+    #: send — the only instrumentation with measurable host-CPU cost).
+    measure_bytes: bool = True
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -123,7 +132,16 @@ class Cluster:
         self.network = SimNetwork(topology, seed=spec.seed)
         self.kernel = Kernel(seed=spec.seed)
         self.trace = TraceRecorder() if spec.trace else None
-        self.world = World(self.kernel, self.network, trace=self.trace)
+        self.metrics: MetricsRegistry = MetricsRegistry() if spec.metrics else NULL_REGISTRY
+        self.network.metrics = self.metrics
+        self.kernel.metrics = self.metrics
+        self.world = World(
+            self.kernel,
+            self.network,
+            trace=self.trace,
+            metrics=self.metrics,
+            measure_bytes=spec.measure_bytes,
+        )
 
         config = ReplicaConfig(
             peers=self.replica_pids,
@@ -158,6 +176,7 @@ class Cluster:
                     suspect_timeout=spec.omega_timeout,
                 )
             replica = Replica(pid, config, service_factory, elector)
+            replica.metrics = self.metrics.scope(pid)
             self.world.add(replica, cpu=replica_cpu)
             self.replicas[pid] = replica
 
@@ -234,3 +253,10 @@ class Cluster:
         """Run a little longer so Chosen broadcasts reach every backup."""
         self.kernel.run(until=self.kernel.now + grace)
         return self
+
+    def export_timeline(self, path: str, include_events: bool = True) -> str:
+        """Write this run's metrics (and trace, if recorded) as a JSONL
+        timeline readable by ``repro report`` — see :mod:`repro.obs.timeline`."""
+        from repro.obs.timeline import export_run  # local import: cycle guard
+
+        return str(export_run(self, path, include_events=include_events))

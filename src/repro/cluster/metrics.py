@@ -28,6 +28,13 @@ class RunResult:
     total_retransmits: int
     rrt: Summary | None
     trt: Summary | None
+    #: Message accounting, read from the cluster's metrics registry (zeros
+    #: when the run had ``metrics=False``).
+    total_messages: int = 0
+    total_dropped: int = 0
+    total_bytes: int = 0
+    #: ``(message type, sent count)`` pairs, descending by count.
+    messages_by_type: tuple[tuple[str, int], ...] = ()
 
     @property
     def throughput(self) -> float:
@@ -55,6 +62,15 @@ class RunResult:
                 f"TRT mean={self.trt.mean * 1e3:.3f}ms ±{self.trt.ci99 * 1e3:.3f}ms (99% CI) "
                 f"txn throughput={self.step_throughput:.1f}/s aborted={self.aborted_steps}"
             )
+        if self.total_messages:
+            per_req = self.total_messages / self.total_requests if self.total_requests else 0.0
+            line = (
+                f"messages={self.total_messages} ({per_req:.1f}/req) "
+                f"dropped={self.total_dropped}"
+            )
+            if self.total_bytes:
+                line += f" bytes={self.total_bytes}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -79,6 +95,13 @@ def collect(cluster: "Cluster") -> RunResult:
         aborted += sum(1 for s in client.records if s.aborted)
         retransmits += sum(r.retransmits for r in client.request_records())
 
+    registry = cluster.metrics
+    sends = registry.counters("msg.send.")
+    by_type = tuple(
+        (name[len("msg.send."):], value)
+        for name, value in sorted(sends.items(), key=lambda item: (-item[1], item[0]))
+    )
+
     return RunResult(
         n_clients=len(clients),
         duration=duration,
@@ -88,4 +111,8 @@ def collect(cluster: "Cluster") -> RunResult:
         total_retransmits=retransmits,
         rrt=summarize(rrts) if rrts else None,
         trt=summarize(trts) if trts else None,
+        total_messages=sum(sends.values()),
+        total_dropped=sum(registry.counters("msg.drop.").values()),
+        total_bytes=sum(registry.counters("msg.send_bytes.").values()),
+        messages_by_type=by_type,
     )

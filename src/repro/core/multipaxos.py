@@ -55,3 +55,10 @@ class MultiPaxosReplica(Replica):
         **overrides: Any,
     ) -> None:
         super().__init__(pid, multipaxos_config(peers, **overrides), service_factory, elector)
+
+    @property
+    def reexecutions(self) -> int:
+        """How many chosen requests this backup re-executed locally — SMR's
+        whole cost model, and the count the observability layer also reports
+        as the ``smr.reexecutions`` counter."""
+        return self.stats["smr_reexecutions"]

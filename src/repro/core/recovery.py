@@ -70,6 +70,7 @@ class RecoveryCoordinator:
         self._accept: _AcceptRound | None = None
         #: Completed recoveries (stats).
         self.recoveries = 0
+        self._started_at: float | None = None
 
     @property
     def in_progress(self) -> bool:
@@ -80,6 +81,7 @@ class RecoveryCoordinator:
         """Run the prepare phase for the log's gaps plus the open tail."""
         replica = self.replica
         self.cancel()
+        self._started_at = replica.now
         # Promise to ourselves first: the leader is also an acceptor.
         replica.promise_locally(ballot)
         log = replica.log
@@ -272,6 +274,15 @@ class RecoveryCoordinator:
 
     def _finish(self, ballot: Ballot, next_instance: InstanceId) -> None:
         self.recoveries += 1
+        metrics = self.replica.metrics
+        if metrics.enabled:
+            metrics.counter("recovery.completed").inc()
+            if self._started_at is not None:
+                # Prepare round + merge + closing accept round, end to end.
+                metrics.histogram("recovery.duration").observe(
+                    self.replica.now - self._started_at
+                )
+        self._started_at = None
         self.replica.recovery_complete(next_instance)
 
     # -------------------------------------------------------------- lifecycle

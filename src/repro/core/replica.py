@@ -55,6 +55,7 @@ from repro.core.tpaxos import TxnManager
 from repro.core.xpaxos import ReadCoordinator
 from repro.election.base import LeaderElector
 from repro.errors import ServiceError
+from repro.obs.registry import NULL_REGISTRY, Scope
 from repro.services.base import ExecutionContext, Service
 from repro.sim.process import Process
 from repro.types import InstanceId, ProcessId, ReplyStatus, RequestKind, StateTransferMode
@@ -116,6 +117,14 @@ class Replica(Process):
         #: Request counters by kind plus protocol events, for reports.
         self.stats: Counter[str] = Counter()
 
+        #: Observability scope (``proc.<pid>.*``); the harness swaps in the
+        #: run's registry. Phase-latency bookkeeping below is only populated
+        #: while metrics are enabled, so disabled runs allocate nothing.
+        self.metrics: Scope = NULL_REGISTRY.scope(pid)
+        self._accepted_at: dict[InstanceId, float] = {}
+        self._chosen_at: dict[InstanceId, float] = {}
+        self._takeover_started: float | None = None
+
     # ======================================================== process events
     def on_start(self) -> None:
         self.elector.on_start()
@@ -145,7 +154,11 @@ class Replica(Process):
         self.reads.reset()
         self.txns.reset()
         self.recovery.reset()
+        self._accepted_at.clear()
+        self._chosen_at.clear()
+        self._takeover_started = None
         self.stats["recovers"] += 1
+        self.metrics.counter("recovers").inc()
         # Log entries above the checkpoint may be re-appliable already.
         self._apply_ready()
         self.elector.on_recover()
@@ -186,6 +199,7 @@ class Replica(Process):
     # ====================================================== client-side entry
     def _on_client_request(self, src: ProcessId, request: ClientRequest) -> None:
         self.stats[f"req_{request.kind.value}"] += 1
+        self.metrics.counter(f"req.{request.kind.value}").inc()
         kind = request.kind
         if kind is RequestKind.ORIGINAL:
             if self.role is ReplicaRole.LEADING:
@@ -322,8 +336,11 @@ class Replica(Process):
         self._set_promised(msg.ballot)
         if msg.snapshot is not None and msg.snapshot_instance > self.applied:
             self.install_snapshot(msg.snapshot_instance, msg.snapshot)
+        record_phases = self.metrics.enabled
         for instance, value in msg.entries:
             self.log.accept(ProposalNumber(msg.ballot, instance), value)
+            if record_phases:
+                self._accepted_at.setdefault(instance, self.now)
         self.send(
             src,
             AcceptedBatch(ballot=msg.ballot, instances=tuple(i for i, _ in msg.entries)),
@@ -384,6 +401,12 @@ class Replica(Process):
         # (any replica that knows a decision must make new leaders adopt it).
         self.log.accept(ProposalNumber(ballot, instance), value)
         self.log.choose(instance, value)
+        if self.metrics.enabled:
+            now = self.now
+            accepted_at = self._accepted_at.pop(instance, None)
+            if accepted_at is not None:
+                self.metrics.histogram("phase.accept_chosen").observe(now - accepted_at)
+            self._chosen_at[instance] = now
         self._apply_ready()
 
     def commit_batch_as_leader(
@@ -393,9 +416,12 @@ class Replica(Process):
     ) -> None:
         """Majority reached for a pipeline round: commit every instance in
         order, answer the clients, then inform backups."""
+        record_phases = self.metrics.enabled
         for pn, proposal, _item in batch:
             self._locally_executed.add(pn.instance)
             self.log.choose(pn.instance, proposal)
+            if record_phases:
+                self._chosen_at[pn.instance] = self.now
         self._apply_ready()
         # Reply before the Chosen broadcast: the client's RRT is
         # 2M + E + 2m; informing the backups happens off the critical path.
@@ -405,6 +431,7 @@ class Replica(Process):
             items = tuple((pn.instance, proposal) for pn, proposal, _item in batch)
             self.broadcast(self.others, ChosenBatch(items=items, ballot=ballot))
         self.stats["commits"] += len(batch)
+        self.metrics.counter("commits").inc(len(batch))
 
     def _apply_ready(self) -> None:
         """Apply chosen proposals in instance order up to the frontier."""
@@ -421,6 +448,12 @@ class Replica(Process):
                 self._apply_proposal(value)
             self.executed.record(value.primary_rid, value.reply)
             self.applied = next_instance
+            if self.metrics.enabled:
+                chosen_at = self._chosen_at.pop(next_instance, None)
+                if chosen_at is not None:
+                    self.metrics.histogram("phase.chosen_applied").observe(
+                        self.now - chosen_at
+                    )
         self._maybe_checkpoint()
 
     def _apply_proposal(self, value: Proposal) -> None:
@@ -434,6 +467,8 @@ class Replica(Process):
             for op in value.ops():
                 if op is None:
                     continue
+                self.stats["smr_reexecutions"] += 1
+                self.metrics.counter("smr.reexecutions").inc()
                 try:
                     self.service.execute(op, self.execution_context())
                 except ServiceError:
@@ -460,6 +495,10 @@ class Replica(Process):
         self.executed.restore(executed_snap)
         self.applied = instance
         self._locally_executed = {i for i in self._locally_executed if i > instance}
+        if self._accepted_at:
+            self._accepted_at = {i: t for i, t in self._accepted_at.items() if i > instance}
+        if self._chosen_at:
+            self._chosen_at = {i: t for i, t in self._chosen_at.items() if i > instance}
         self.log.install_prefix(instance)
         self.stable["checkpoint"] = (instance, self.service.snapshot(), dict(executed_snap))
         self._apply_ready()
@@ -550,6 +589,8 @@ class Replica(Process):
 
     def _become_leader(self) -> None:
         self.stats["elected"] += 1
+        self.metrics.counter("leader.elected").inc()
+        self._takeover_started = self.now
         round_ = self.max_round_seen + 1
         self.observe_round(round_)
         self.ballot = Ballot(round_, self.pid)
@@ -558,6 +599,8 @@ class Replica(Process):
 
     def _step_down(self) -> None:
         self.stats["stepped_down"] += 1
+        self.metrics.counter("leader.stepdowns").inc()
+        self._takeover_started = None
         self.role = ReplicaRole.FOLLOWER
         self.ballot = None
         self.recovery.cancel()
@@ -611,6 +654,13 @@ class Replica(Process):
             return
         self.role = ReplicaRole.LEADING
         self.stats["recovery_complete"] += 1
+        if self._takeover_started is not None:
+            # Downtime this replica imposed on the cluster while taking over:
+            # election callback -> ready to serve (§3.6's switch cost).
+            self.metrics.histogram("leader.switch_downtime").observe(
+                self.now - self._takeover_started
+            )
+            self._takeover_started = None
         self.proposer.begin(next_instance)
         self.set_timer(self.config.sync_interval, self._broadcast_frontier)
 

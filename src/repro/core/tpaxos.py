@@ -98,13 +98,13 @@ class TxnManager:
             # We are missing earlier ops of this transaction (a leader
             # switch orphaned its prefix, §3.6): abort rather than commit a
             # torn suffix.
-            self._rollback(txn)
+            self._rollback(txn, cause="missing_prefix")
             replica.reply(src, request.rid, ReplyStatus.ABORTED, "missing transaction prefix")
             return
         read_keys, write_keys = replica.service.locks_for(request.op)
         if not replica.locks.try_acquire(txn.txn_id, read_keys, write_keys):
             # No-wait policy: conflicting transactions abort immediately.
-            self._rollback(txn)
+            self._rollback(txn, cause="lock_conflict")
             replica.reply(src, request.rid, ReplyStatus.ABORTED, "lock conflict")
             return
         try:
@@ -134,13 +134,14 @@ class TxnManager:
         if txn is None:
             # Unknown transaction: it was aborted (leader switch or
             # conflict) or never reached this leader.
+            replica.metrics.counter("tpaxos.abort.unknown_txn").inc()
             replica.reply(src, request.rid, ReplyStatus.ABORTED, "unknown transaction")
             return
         if txn.phase is TxnPhase.COMMITTING:
             return  # commit retransmit while the instance is in flight
         if request.txn_seq != len(txn.requests):
             # Incomplete transaction record (mid-stream leader switch).
-            self._rollback(txn)
+            self._rollback(txn, cause="missing_prefix")
             replica.reply(src, request.rid, ReplyStatus.ABORTED, "missing transaction prefix")
             return
         txn.phase = TxnPhase.COMMITTING
@@ -159,6 +160,7 @@ class TxnManager:
             replica.locks.release_all(txn.txn_id)
             self.active.pop(txn.txn_id, None)
             self.commits += 1
+            replica.metrics.counter("tpaxos.commits").inc()
             replica.reply(src, request.rid, ReplyStatus.OK, proposal.reply)
 
         replica.proposer.submit(
@@ -171,24 +173,29 @@ class TxnManager:
         assert request.txn is not None
         txn = self.active.get(request.txn)
         if txn is not None and txn.phase is TxnPhase.ACTIVE:
-            self._rollback(txn)
+            self._rollback(txn, cause="client_abort")
         replica.reply(src, request.rid, ReplyStatus.OK, "aborted")
 
-    def _rollback(self, txn: ActiveTxn) -> None:
-        """Undo the transaction's effects on the leader's service copy."""
+    def _rollback(self, txn: ActiveTxn, cause: str = "admin") -> None:
+        """Undo the transaction's effects on the leader's service copy.
+
+        ``cause`` feeds the per-cause abort counters
+        (``tpaxos.abort.<cause>``) the paper's §4.2 abort analysis needs.
+        """
         for result in reversed(txn.results):
             if result.undo is not None:
                 result.undo()
         self.replica.locks.release_all(txn.txn_id)
         self.active.pop(txn.txn_id, None)
         self.aborts += 1
+        self.replica.metrics.counter(f"tpaxos.abort.{cause}").inc()
 
     def abort_all(self) -> None:
         """Abort every active transaction via its undo records (used when the
         service state itself is kept — e.g. an administrative abort)."""
         for txn in list(self.active.values()):
             if txn.phase is TxnPhase.ACTIVE:
-                self._rollback(txn)
+                self._rollback(txn, cause="admin")
             else:
                 # Commit already in flight: its fate is decided by consensus.
                 self.active.pop(txn.txn_id, None)
@@ -199,7 +206,10 @@ class TxnManager:
         from the committed log right after, which also erases transactional
         effects. Clients learn the abort when they retransmit to the new
         leader (unknown transaction -> ABORTED)."""
-        self.aborts += sum(1 for t in self.active.values() if t.phase is TxnPhase.ACTIVE)
+        dropped = sum(1 for t in self.active.values() if t.phase is TxnPhase.ACTIVE)
+        self.aborts += dropped
+        if dropped:
+            self.replica.metrics.counter("tpaxos.abort.leader_switch").inc(dropped)
         self.active.clear()
 
     def reset(self) -> None:

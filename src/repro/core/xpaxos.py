@@ -32,6 +32,7 @@ class _PendingRead:
     src: ProcessId
     ready: bool = False          # execution finished (E elapsed)
     reply_value: Any = None
+    started_at: float = 0.0      # leader receipt time (confirm-round metric)
 
 
 class ReadCoordinator:
@@ -63,7 +64,7 @@ class ReadCoordinator:
             # Retransmit of an already-answered read: re-execute fresh (reads
             # are idempotent), don't wait for stale confirms.
             self._finished[rid.client] = rid.seq - 1
-        pending = _PendingRead(request=request, src=src)
+        pending = _PendingRead(request=request, src=src, started_at=self.replica.now)
         self._pending[rid] = pending
         execute_time = self.replica.config.execute_time
         if execute_time > 0:
@@ -116,6 +117,14 @@ class ReadCoordinator:
         for r in stale:
             del self._confirms[r]
         self.served += 1
+        metrics = replica.metrics
+        if metrics.enabled:
+            metrics.counter("xpaxos.reads_served").inc()
+            # §3.4: the read completes at max(E, confirm latency); this is
+            # that whole span, measured from the read's arrival at the leader.
+            metrics.histogram("xpaxos.confirm_round").observe(
+                replica.now - pending.started_at
+            )
         replica.send(
             pending.src,
             Reply(rid=rid, status=ReplyStatus.OK, value=pending.reply_value,

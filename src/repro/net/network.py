@@ -13,6 +13,7 @@ import random
 from repro.net.link import Link
 from repro.net.partition import PartitionController
 from repro.net.topology import Topology
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.types import ProcessId
 
 
@@ -27,6 +28,9 @@ class SimNetwork:
         #: Counters by (src_site, dst_site) — handy for tests and reports.
         self.messages_sent: dict[tuple[str, str], int] = {}
         self.messages_dropped = 0
+        #: Observability sink: mirrors the site-pair counters into the run's
+        #: registry (``net.site.<src>-><dst>``) plus drop-cause counters.
+        self.metrics: MetricsRegistry = NULL_REGISTRY
 
     def _link(self, src: ProcessId, dst: ProcessId) -> Link:
         key = (src, dst)
@@ -41,12 +45,16 @@ class SimNetwork:
     def delays(self, src: ProcessId, dst: ProcessId, depart: float) -> tuple[float, ...]:
         if self.partitions.blocked(src, dst):
             self.messages_dropped += 1
+            self.metrics.counter("net.drop.partition").inc()
             return ()
         site_key = (self.topology.site_of(src), self.topology.site_of(dst))
         self.messages_sent[site_key] = self.messages_sent.get(site_key, 0) + 1
+        if self.metrics.enabled:
+            self.metrics.counter(f"net.site.{site_key[0]}->{site_key[1]}").inc()
         copies = self._link(src, dst).delays(depart)
         if not copies:
             self.messages_dropped += 1
+            self.metrics.counter("net.drop.loss").inc()
         return copies
 
     def total_messages(self) -> int:

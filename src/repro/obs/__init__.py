@@ -1,0 +1,43 @@
+"""Observability: metrics registry, JSONL timelines, report rendering.
+
+The paper's evaluation (§4) is entirely measured protocol behaviour; this
+package is the measuring instrument. :class:`MetricsRegistry` holds
+counters, gauges and fixed-bucket latency histograms; the simulation world
+and the protocol layers record into it when a run enables metrics
+(:class:`repro.cluster.harness.ClusterSpec` ``metrics=True``, the default);
+:mod:`repro.obs.timeline` serializes a finished run to JSONL; and
+:mod:`repro.obs.report` renders the tables behind ``repro report``.
+
+Disabled metrics cost one dict hit and a no-op call per instrumentation
+point (:data:`NULL_REGISTRY`), and recording never reads RNGs or mutates
+schedules — instrumented and uninstrumented runs are byte-identical.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Scope,
+)
+from repro.obs.report import render_comparison, render_report
+from repro.obs.timeline import RunExport, export_run, load_export
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "RunExport",
+    "Scope",
+    "export_run",
+    "load_export",
+    "render_comparison",
+    "render_report",
+]

@@ -1,0 +1,172 @@
+"""Rendering of instrumented runs: per-message-type and per-phase tables.
+
+Consumes :class:`repro.obs.timeline.RunExport` (a parsed JSONL export) or a
+live :class:`repro.obs.registry.MetricsRegistry`, and renders aligned text
+tables via :mod:`repro.util.tables` — the same look as the benchmark
+output, so report blocks paste straight into EXPERIMENTS.md. Powers the
+``repro report`` CLI subcommand, including the two-run comparison mode.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.timeline import RunExport, registry_records
+from repro.util.tables import format_table
+
+
+def export_from_registry(registry: MetricsRegistry) -> RunExport:
+    """Wrap a live registry as a :class:`RunExport` (no file round-trip)."""
+    export = RunExport()
+    for record in registry_records(registry):
+        kind = record["record"]
+        if kind == "counter":
+            export.counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            export.gauges[record["name"]] = record["value"]
+        else:
+            export.histograms[record["name"]] = Histogram.from_snapshot(record)
+    return export
+
+
+# ------------------------------------------------------------------- messages
+def message_table(export: RunExport) -> str:
+    """Per-message-type traffic: sends, delivers, drops, encoded bytes."""
+    rows = []
+    total_sent = total_bytes = 0
+    for type_name in export.message_types():
+        sent = export.counter(f"msg.send.{type_name}")
+        sent_bytes = export.counter(f"msg.send_bytes.{type_name}")
+        total_sent += sent
+        total_bytes += sent_bytes
+        rows.append(
+            [
+                type_name,
+                sent,
+                export.counter(f"msg.deliver.{type_name}"),
+                export.counter(f"msg.drop.{type_name}"),
+                sent_bytes or "-",
+                f"{sent_bytes / sent:.0f}" if sent and sent_bytes else "-",
+            ]
+        )
+    rows.append(["TOTAL", total_sent, "", "", total_bytes or "-", ""])
+    return "Per-message-type traffic\n" + format_table(
+        ["message", "sent", "delivered", "dropped", "bytes", "bytes/msg"], rows
+    )
+
+
+def per_replica_table(export: RunExport) -> str:
+    """Messages sent per process per type (`proc.<pid>.send.<Type>`)."""
+    cells: dict[tuple[str, str], int] = {}
+    pids: set[str] = set()
+    types: set[str] = set()
+    for name, value in export.counters.items():
+        if not name.startswith("proc."):
+            continue
+        parts = name.split(".")
+        if len(parts) != 4 or parts[2] != "send":
+            continue
+        _proc, pid, _send, type_name = parts
+        cells[(pid, type_name)] = value
+        pids.add(pid)
+        types.add(type_name)
+    if not cells:
+        return "Per-replica sends: (no per-process counters recorded)"
+    ordered_types = sorted(types)
+    rows = []
+    for pid in sorted(pids):
+        rows.append([pid, *(cells.get((pid, t), 0) for t in ordered_types)])
+    return "Messages sent per process\n" + format_table(["process", *ordered_types], rows)
+
+
+# --------------------------------------------------------------------- phases
+def _phase_rows(histograms: Mapping[str, Histogram]) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for name, hist in sorted(histograms.items()):
+        if hist.count == 0:
+            continue
+        label = name[len("proc."):] if name.startswith("proc.") else name
+        rows.append(
+            [
+                label,
+                hist.count,
+                f"{hist.mean * 1e3:.3f}",
+                f"{hist.quantile(0.5) * 1e3:.3f}",
+                f"{hist.quantile(0.95) * 1e3:.3f}",
+                f"{hist.maximum * 1e3:.3f}",
+            ]
+        )
+    return rows
+
+
+def phase_table(export: RunExport) -> str:
+    """Per-replica protocol-phase latency summaries (ms)."""
+    rows = _phase_rows(export.histograms)
+    if not rows:
+        return "Phase latencies: (no histograms recorded)"
+    return "Phase latencies (ms)\n" + format_table(
+        ["phase", "n", "mean", "p50", "p95", "max"], rows
+    )
+
+
+# ------------------------------------------------------------------ comparison
+def compare_table(a: RunExport, b: RunExport) -> str:
+    """Side-by-side message counters of two exports, with deltas."""
+    rows = []
+    for type_name in sorted(set(a.message_types()) | set(b.message_types())):
+        sent_a = a.counter(f"msg.send.{type_name}")
+        sent_b = b.counter(f"msg.send.{type_name}")
+        if sent_a == 0 and sent_b == 0:
+            continue
+        delta = f"{(sent_b - sent_a) / sent_a * 100:+.1f}%" if sent_a else "new"
+        rows.append([type_name, sent_a, sent_b, sent_b - sent_a, delta])
+    header = "Message counts: A = {} | B = {}".format(a.path or "run A", b.path or "run B")
+    return header + "\n" + format_table(["message", "A sent", "B sent", "diff", "delta"], rows)
+
+
+# -------------------------------------------------------------------- summary
+def _meta_line(export: RunExport) -> str:
+    meta = export.meta
+    if not meta:
+        return ""
+    return (
+        f"run: seed={meta.get('seed')} profile={meta.get('profile')} "
+        f"replicas={meta.get('n_replicas')} clients={meta.get('n_clients')} "
+        f"sim_time={meta.get('sim_time', 0):.3f}s"
+    )
+
+
+def render_report(export: RunExport) -> str:
+    """The full single-run report: meta, traffic, per-replica, phases."""
+    blocks = [
+        block
+        for block in (
+            _meta_line(export),
+            message_table(export),
+            per_replica_table(export),
+            phase_table(export),
+        )
+        if block
+    ]
+    result = export.result
+    if result:
+        blocks.append(
+            "totals: requests={} messages={} bytes={} throughput={:.1f}/s".format(
+                result.get("total_requests"),
+                result.get("total_messages"),
+                result.get("total_bytes"),
+                result.get("throughput") or 0.0,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_comparison(a: RunExport, b: RunExport) -> str:
+    """The two-run comparison report used by ``repro report A B``."""
+    blocks = [compare_table(a, b)]
+    for label, export in (("A", a), ("B", b)):
+        line = _meta_line(export)
+        if line:
+            blocks.append(f"[{label}] {line}")
+    return "\n\n".join(blocks)

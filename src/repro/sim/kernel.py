@@ -14,6 +14,7 @@ import random
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.util.seq import SequenceGenerator
 
 
@@ -62,6 +63,9 @@ class Kernel:
         self._seed = seed
         self._running = False
         self.events_processed = 0
+        #: Observability sink (gauges updated at the end of each run());
+        #: deliberately off the per-event hot path.
+        self.metrics: MetricsRegistry = NULL_REGISTRY
 
     # ------------------------------------------------------------------ time
     @property
@@ -142,6 +146,10 @@ class Kernel:
             self._running = False
         if until is not None and self._now < until:
             self._now = until
+        if self.metrics.enabled:
+            self.metrics.gauge("kernel.events_processed").set(self.events_processed)
+            self.metrics.gauge("kernel.vtime").set(self._now)
+            self.metrics.gauge("kernel.heap_size").set(len(self._heap))
         return processed
 
     @property

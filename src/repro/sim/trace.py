@@ -28,8 +28,13 @@ class TraceEvent:
     dst: ProcessId | None
     detail: Any = None
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        arrow = f"{self.src}->{self.dst}" if self.src or self.dst else ""
+    def __str__(self) -> str:
+        # Falsy-but-valid pids (0, "") must still render: test identity
+        # against None, not truthiness.
+        if self.src is not None or self.dst is not None:
+            arrow = f"{self.src}->{self.dst}"
+        else:
+            arrow = ""
         return f"[{self.time * 1e3:10.4f}ms] {self.kind:8s} {arrow} {self.detail!r}"
 
 

@@ -24,10 +24,12 @@ import random
 from typing import Any, Callable, Protocol as TypingProtocol
 
 from repro.errors import SimulationError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.sim.cpu import CpuModel, CpuProfile
 from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.process import Env, Process, TimerHandle
 from repro.sim.trace import TraceRecorder
+from repro.transport.codec import encoded_size
 from repro.types import ProcessId
 
 
@@ -111,10 +113,16 @@ class World:
         kernel: Kernel,
         network: NetworkLike | None = None,
         trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        measure_bytes: bool = False,
     ) -> None:
         self.kernel = kernel
         self.network: NetworkLike = network if network is not None else ZeroLatencyNetwork()
         self.trace = trace
+        #: Per-message-type send/deliver/drop (and optionally byte) counts
+        #: land here. Purely passive: metrics never touch RNGs or schedules.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._measure_bytes = measure_bytes and self.metrics.enabled
         self._processes: dict[ProcessId, Process] = {}
         self._cpus: dict[ProcessId, CpuModel] = {}
         self._epochs: dict[ProcessId, int] = {}
@@ -158,6 +166,10 @@ class World:
             process.on_start()
 
     # ------------------------------------------------------------- messaging
+    def _count_drop(self, msg: Any) -> None:
+        if self.metrics.enabled:
+            self.metrics.counter(f"msg.drop.{type(msg).__name__}").inc()
+
     def _send(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
         sender = self._processes.get(src)
         if sender is None or not sender.alive:
@@ -166,10 +178,19 @@ class World:
             raise SimulationError(f"{src} sent to unknown process {dst!r}")
         if self.trace is not None:
             self.trace.emit(self.kernel.now, "send", src, dst, msg)
+        metrics = self.metrics
+        if metrics.enabled:
+            type_name = type(msg).__name__
+            metrics.counter(f"msg.send.{type_name}").inc()
+            metrics.counter(f"proc.{src}.send.{type_name}").inc()
+            if self._measure_bytes:
+                metrics.counter(f"msg.send_bytes.{type_name}").inc(encoded_size(msg))
         depart = self._cpus[src].send_completion(self.kernel.now)
         copies = self.network.delays(src, dst, depart)
-        if not copies and self.trace is not None:
-            self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+        if not copies:
+            if self.trace is not None:
+                self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+            self._count_drop(msg)
         for delay in copies:
             self.kernel.schedule_at(depart + delay, self._arrive, src, dst, msg)
 
@@ -178,6 +199,7 @@ class World:
         if not receiver.alive:
             if self.trace is not None:
                 self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+            self._count_drop(msg)
             return
         epoch = self._epochs[dst]
         completion = self._cpus[dst].recv_completion(self.kernel.now)
@@ -188,9 +210,15 @@ class World:
         if not receiver.alive or self._epochs[dst] != epoch:
             if self.trace is not None:
                 self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+            self._count_drop(msg)
             return
         if self.trace is not None:
             self.trace.emit(self.kernel.now, "deliver", src, dst, msg)
+        metrics = self.metrics
+        if metrics.enabled:
+            type_name = type(msg).__name__
+            metrics.counter(f"msg.deliver.{type_name}").inc()
+            metrics.counter(f"proc.{dst}.recv.{type_name}").inc()
         receiver.on_message(src, msg)
 
     # ----------------------------------------------------------------- timers

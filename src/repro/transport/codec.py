@@ -26,6 +26,16 @@ def encode_frame(message: Any) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
+def encoded_size(message: Any) -> int:
+    """Wire size of ``message`` in bytes (header + pickled payload).
+
+    This is the byte-accounting primitive of the observability layer: the
+    simulated network carries object references, so "bytes on the wire"
+    means "what the TCP transport would have framed".
+    """
+    return _HEADER.size + len(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 class FrameDecoder:
     """Incremental decoder: feed bytes, iterate complete messages."""
 

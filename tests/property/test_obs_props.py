@@ -1,0 +1,104 @@
+"""Property tests: histogram quantile estimates vs. exact sample quantiles.
+
+The fixed-bucket histogram promises its quantile estimate is within one
+bucket width of the true sample quantile whenever the samples land in the
+finite buckets (linear interpolation inside the target bucket, clamped to
+the observed min/max). numpy.percentile with ``method="inverted_cdf"`` is
+the oracle — that is the quantile definition the histogram's cumulative
+walk implements; the default (linear) method interpolates *between sample
+values*, which no histogram can reproduce (two samples one per distant
+bucket already break any bucket-width bound for it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, Histogram
+
+#: Uniform bucket edges over [0, 1]: width 0.05.
+UNIFORM_BOUNDS = tuple(round(i * 0.05, 10) for i in range(1, 21))
+UNIFORM_WIDTH = 0.05
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=500,
+)
+
+quantiles_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples=samples_strategy, q=quantiles_strategy)
+def test_quantile_within_one_bucket_of_numpy(samples, q):
+    hist = Histogram(UNIFORM_BOUNDS)
+    for s in samples:
+        hist.observe(s)
+    estimate = hist.quantile(q)
+    true = float(np.percentile(samples, q * 100, method="inverted_cdf"))
+    assert abs(estimate - true) <= UNIFORM_WIDTH + 1e-9
+    # The estimate also never leaves the observed range.
+    assert min(samples) - 1e-9 <= estimate <= max(samples) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=samples_strategy)
+def test_extreme_quantiles_hit_min_and_max(samples):
+    hist = Histogram(UNIFORM_BOUNDS)
+    for s in samples:
+        hist.observe(s)
+    assert abs(hist.quantile(0.0) - min(samples)) <= UNIFORM_WIDTH + 1e-9
+    assert abs(hist.quantile(1.0) - max(samples)) <= UNIFORM_WIDTH + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=samples_strategy)
+def test_mean_and_count_are_exact(samples):
+    # Unlike quantiles, mean/count/min/max do not discretize.
+    hist = Histogram(UNIFORM_BOUNDS)
+    for s in samples:
+        hist.observe(s)
+    assert hist.count == len(samples)
+    assert abs(hist.mean - float(np.mean(samples))) <= 1e-9
+    assert hist.minimum == min(samples)
+    assert hist.maximum == max(samples)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=1e-5, max_value=9.9, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=300,
+    ),
+    q=quantiles_strategy,
+)
+def test_default_latency_buckets_bound_error_by_local_width(samples, q):
+    # The default (geometric) buckets have variable widths; the error bound
+    # is the width of the bucket the estimate falls in.
+    hist = Histogram(DEFAULT_LATENCY_BUCKETS)
+    for s in samples:
+        hist.observe(s)
+    estimate = hist.quantile(q)
+    true = float(np.percentile(samples, q * 100, method="inverted_cdf"))
+    bounds = (0.0,) + DEFAULT_LATENCY_BUCKETS
+    widths = [
+        bounds[i + 1] - bounds[i]
+        for i in range(len(bounds) - 1)
+        if bounds[i] <= max(true, estimate) and min(true, estimate) <= bounds[i + 1]
+    ]
+    assert widths, (estimate, true)
+    assert abs(estimate - true) <= max(widths) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples=samples_strategy)
+def test_snapshot_round_trip_preserves_quantiles(samples):
+    hist = Histogram(UNIFORM_BOUNDS)
+    for s in samples:
+        hist.observe(s)
+    clone = Histogram.from_snapshot(hist.snapshot())
+    for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+        assert clone.quantile(q) == hist.quantile(q)

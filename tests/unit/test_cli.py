@@ -34,6 +34,49 @@ class TestCommands:
             main([])
 
 
+class TestRunAndReport:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "--requests", "6", "--clients", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "clients=2" in out
+        assert "messages=" in out  # metrics on by default
+
+    def test_run_export_then_report(self, tmp_path, capsys):
+        export = tmp_path / "run.jsonl"
+        assert main(["run", "--requests", "6", "--export", str(export), "--trace"]) == 0
+        capsys.readouterr()
+        assert export.exists()
+        assert main(["report", str(export)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-message-type traffic" in out
+        assert "AcceptBatch" in out
+        assert "Phase latencies" in out
+
+    def test_report_compares_two_exports(self, tmp_path, capsys):
+        paths = []
+        for seed, kind in ((1, "write"), (2, "read")):
+            path = tmp_path / f"run{seed}.jsonl"
+            assert main([
+                "run", "--requests", "6", "--kind", kind,
+                "--seed", str(seed), "--export", str(path),
+            ]) == 0
+            paths.append(str(path))
+        capsys.readouterr()
+        assert main(["report", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "A sent" in out and "B sent" in out
+        # Writes run accept rounds, reads don't: the diff must show it.
+        assert "AcceptBatch" in out
+
+    def test_report_rejects_three_paths(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "a", "b", "c"])
+
+    def test_run_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--kind", "bogus"])
+
+
 class TestExperimentsReport:
     # One slow-ish end-to-end check of the generator (quick mode).
     def test_quick_report_contains_every_artefact(self):

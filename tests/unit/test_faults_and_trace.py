@@ -119,6 +119,20 @@ class TestTraceExtras:
         text = str(event)
         assert "send" in text and "a->b" in text
 
+    def test_event_str_renders_falsy_pids(self):
+        # Numeric pid 0 and the empty string are valid process ids; the
+        # arrow must not vanish just because a pid is falsy.
+        event = TraceEvent(time=0.0, kind="send", src=0, dst=1, detail=None)
+        assert "0->1" in str(event)
+        event = TraceEvent(time=0.0, kind="send", src="", dst="b", detail=None)
+        assert "->b" in str(event)
+        event = TraceEvent(time=0.0, kind="deliver", src=None, dst=0, detail=None)
+        assert "None->0" in str(event)
+
+    def test_event_str_no_arrow_when_both_none(self):
+        event = TraceEvent(time=0.0, kind="timer", src=None, dst=None, detail="t")
+        assert "->" not in str(event)
+
     def test_dump(self):
         trace = TraceRecorder()
         trace.emit(0.0, "send", "a", "b", detail=1)
