@@ -3,20 +3,34 @@
 Each benchmark regenerates one table or figure from the paper's §4. The
 measured rows/series are printed *and* written to ``benchmarks/results/``
 so the reproduction record survives pytest's output capture; EXPERIMENTS.md
-is assembled from those files.
+is assembled from those files. Alongside each ``<name>.txt`` block,
+:func:`emit` writes a machine-readable ``BENCH_<name>.json`` summary so
+dashboards and regression tooling don't have to re-parse the text tables —
+benchmarks pass their structured rows/series via ``data``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> str:
-    """Print a result block and persist it under benchmarks/results/."""
+def emit(name: str, text: str, data: Any = None) -> str:
+    """Print a result block and persist it under benchmarks/results/.
+
+    Writes ``<name>.txt`` (the human-readable block) and
+    ``BENCH_<name>.json`` (``{"name", "text", "data"}`` — ``data`` is the
+    benchmark's structured summary, or ``None`` for text-only benchmarks).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    summary = {"name": name, "text": text, "data": data}
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True, default=str) + "\n"
+    )
     return text

@@ -38,7 +38,8 @@ def compute():
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_throughput_sysnet(once):
     text, series = once(compute)
-    emit("fig5_throughput_sysnet", text)
+    emit("fig5_throughput_sysnet", text,
+         data={"clients": list(CLIENTS), "throughput": series})
     for i, _c in enumerate(CLIENTS):
         assert series["original"][i] > series["read"][i] > series["write"][i]
     # "the throughput of reads was at least 13% higher than that of writes"

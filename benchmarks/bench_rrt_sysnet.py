@@ -34,13 +34,22 @@ def compute():
             for kind, summary in measured.items()
         )
     )
-    return text, measured
+    data = {
+        kind: {
+            "paper_ms": PAPER[kind] * 1e3,
+            "measured_ms": summary.mean * 1e3,
+            "ci99_ms": summary.ci99 * 1e3,
+            "n": summary.n,
+        }
+        for kind, summary in measured.items()
+    }
+    return text, measured, data
 
 
 @pytest.mark.benchmark(group="rrt")
 def test_rrt_sysnet(once):
-    text, measured = once(compute)
-    emit("rrt_sysnet", text)
+    text, measured, data = once(compute)
+    emit("rrt_sysnet", text, data=data)
     # Reproduction guardrails: within 5% of the paper's means.
     for kind in PAPER:
         assert measured[kind].mean == pytest.approx(PAPER[kind], rel=0.05)

@@ -205,11 +205,96 @@ def run_command(args: argparse.Namespace) -> int:
     profile = get_profile(args.profile)
     kind = RequestKind(args.kind)
     per_client = max(1, args.requests // args.clients)
-    spec = ClusterSpec(profile=profile, seed=args.seed, trace=args.trace)
+    spec = ClusterSpec(
+        profile=profile,
+        seed=args.seed,
+        trace=args.trace,
+        tracing=args.tracing or bool(args.chrome),
+    )
     steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
     cluster = Cluster(spec, steps)
     cluster.run()
     print(collect(cluster).describe())
+    if args.export:
+        path = cluster.export_timeline(args.export)
+        print(f"timeline: {path}")
+    if args.chrome:
+        path = cluster.export_chrome(args.chrome)
+        print(f"chrome trace: {path} (load at ui.perfetto.dev)")
+    return 0
+
+
+def trace_command(args: argparse.Namespace) -> int:
+    """Run one traced cluster and render per-request waterfalls plus the
+    critical-path and §3.4 formula-conformance summaries."""
+    from repro.analysis.model import LatencyModelInputs
+    from repro.client.workload import single_kind_steps
+    from repro.cluster.harness import Cluster, ClusterSpec
+    from repro.obs.tracing import (
+        COMPONENTS,
+        analyze_requests,
+        conformance,
+        summarize_paths,
+    )
+    from repro.types import RequestKind
+    from repro.util.tables import format_table
+
+    profile = get_profile(args.profile)
+    kind = RequestKind(args.kind)
+    per_client = max(1, args.requests // args.clients)
+    spec = ClusterSpec(profile=profile, seed=args.seed, tracing=True)
+    steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
+    cluster = Cluster(spec, steps)
+    cluster.run()
+
+    store = cluster.tracer.store
+    shown = 0
+    for root in store.roots():
+        if root.kind != "request":
+            continue
+        if shown >= args.show:
+            break
+        print(store.tree(root.trace_id).render_waterfall())
+        print()
+        shown += 1
+
+    paths = analyze_requests(store)
+    rows: list[list[object]] = []
+    for k, s in summarize_paths(paths).items():
+        rows.append([k, "mean", s.n, f"{s.mean_total * 1e3:.3f}",
+                     *(f"{s.mean[c] * 1e3:.3f}" for c in COMPONENTS),
+                     s.incomplete or ""])
+        rows.append([k, "p95", "", f"{s.p95_total * 1e3:.3f}",
+                     *(f"{s.p95[c] * 1e3:.3f}" for c in COMPONENTS), ""])
+    print("Critical-path attribution (ms)")
+    print(format_table(["kind", "stat", "n", "total", *COMPONENTS, "incomplete"], rows))
+
+    # Model inputs derived from the profile's paper RRTs (original = 2M + E,
+    # write = 2M + E + 2m, with E = 0 in this command's workloads).
+    original = profile.paper_rrt.get("original")
+    write = profile.paper_rrt.get("write")
+    if original is not None and write is not None:
+        model = LatencyModelInputs(
+            client_replica=original / 2,
+            replica_replica=(write - original) / 2,
+            execute=0.0,
+        )
+        crows = []
+        for k, row in conformance(paths, model, xpaxos_reads=spec.xpaxos_reads).items():
+            crows.append([k, row.formula, row.n,
+                          f"{row.measured_mean * 1e3:.3f}",
+                          f"{row.expected * 1e3:.3f}",
+                          f"{row.deviation * 1e3:+.3f}"])
+        if crows:
+            print()
+            print("Latency-formula conformance (§3.4, ms; model from paper RRTs)")
+            print(format_table(["kind", "formula", "n", "measured", "model", "dev"],
+                               crows))
+
+    if args.chrome:
+        print()
+        path = cluster.export_chrome(args.chrome)
+        print(f"chrome trace: {path} (load at ui.perfetto.dev)")
     if args.export:
         path = cluster.export_timeline(args.export)
         print(f"timeline: {path}")
@@ -271,6 +356,34 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="write the JSONL timeline here (for 'repro report')")
     run.add_argument("--trace", action="store_true",
                      help="also record (and export) per-message trace events")
+    run.add_argument("--tracing", action="store_true",
+                     help="record causal request spans (exported with --export)")
+    run.add_argument("--chrome", metavar="PATH",
+                     help="write a Chrome trace-event JSON here (implies --tracing)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="one traced run: per-request waterfalls + critical-path summary",
+    )
+    trace.add_argument(
+        "--profile", default="sysnet", choices=sorted(PROFILES),
+        help="deployment profile (default: sysnet)",
+    )
+    trace.add_argument(
+        "--kind", default="write", choices=KINDS,
+        help="request kind for every client (default: write)",
+    )
+    trace.add_argument("--requests", type=int, default=10,
+                       help="total requests across all clients (default: 10)")
+    trace.add_argument("--clients", type=int, default=1,
+                       help="closed-loop client count (default: 1)")
+    trace.add_argument("--seed", type=int, default=0, help="simulation seed")
+    trace.add_argument("--show", type=int, default=3,
+                       help="request waterfalls to print (default: 3)")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="write a Chrome trace-event JSON here")
+    trace.add_argument("--export", metavar="PATH",
+                       help="write the JSONL timeline here (for 'repro report')")
 
     report = sub.add_parser(
         "report", help="render tables from a JSONL export (two paths: compare)"
@@ -291,6 +404,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "run":
         return run_command(args)
+    if args.command == "trace":
+        return trace_command(args)
     if args.command == "report":
         if len(args.paths) > 2:
             parser.error("report takes one export, or two to compare")

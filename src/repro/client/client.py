@@ -19,6 +19,8 @@ from typing import Any, Sequence
 from repro.client.workload import Step
 from repro.core.messages import Reply, StartSignal
 from repro.core.requests import ClientRequest, RequestId
+from repro.obs.spans import Span
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.sim.process import Process
 from repro.types import ProcessId, ReplyStatus, RequestKind
 
@@ -94,6 +96,10 @@ class Client(Process):
         self._current: RequestRecord | None = None
         self._current_request: ClientRequest | None = None
         self._timer = None
+        #: Causal tracing (set by the harness). Each request opens a root
+        #: trace span: submit -> matching Reply.
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        self._span: Span | None = None
 
     # ------------------------------------------------------------- lifecycle
     def on_start(self) -> None:
@@ -141,8 +147,18 @@ class Client(Process):
         self._current_request = request
         self._current = RequestRecord(rid=rid, kind=kind, sent_at=self.now, op=op)
         self.records[-1].requests.append(self._current)
-        self.broadcast(self.replicas, request)
-        self._arm_timer()
+        tracer = self.tracer
+        if tracer.enabled:
+            self._span = tracer.start_trace(
+                f"request:{rid}", pid=self.pid, kind="request",
+                attrs={"rid": str(rid), "kind": kind.value, "step": step.label},
+            )
+        token = tracer.activate(self._span)
+        try:
+            self.broadcast(self.replicas, request)
+            self._arm_timer()
+        finally:
+            tracer.restore(token)
 
     def _arm_timer(self) -> None:
         if self._timer is not None:
@@ -154,8 +170,14 @@ class Client(Process):
             return
         assert self._current_request is not None
         self._current.retransmits += 1
-        self.broadcast(self.replicas, self._current_request)
-        self._arm_timer()
+        if self._span is not None:
+            self._span.attrs["retransmits"] = self._current.retransmits
+        token = self.tracer.activate(self._span)
+        try:
+            self.broadcast(self.replicas, self._current_request)
+            self._arm_timer()
+        finally:
+            self.tracer.restore(token)
 
     def _on_reply(self, src: ProcessId, reply: Reply) -> None:
         current = self._current
@@ -169,6 +191,11 @@ class Client(Process):
         current.value = reply.value
         self._current = None
         self._current_request = None
+        self.tracer.end(
+            self._span,
+            status="ok" if reply.status is ReplyStatus.OK else reply.status.value,
+        )
+        self._span = None
 
         step = self.steps[self._step_index]
         record = self.records[-1]

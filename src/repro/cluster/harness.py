@@ -24,6 +24,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.net.network import SimNetwork
 from repro.net.profiles import NetworkProfile
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.services.base import Service
 from repro.services.noop import NoopService
 from repro.sim.kernel import Kernel
@@ -89,6 +90,10 @@ class ClusterSpec:
     connection_scaling: bool = True
     start_at: float = 0.001
     trace: bool = False
+    #: Causal request tracing (:mod:`repro.obs.tracing`): one span tree per
+    #: client request, from submit to reply. Passive like metrics — a traced
+    #: run is byte-identical to a bare one (tests/integration/test_tracing.py).
+    tracing: bool = False
     #: Record counters/histograms into a :class:`repro.obs.MetricsRegistry`.
     #: On by default so every harness run (and benchmark) gets per-message
     #: accounting for free; recording is passive and cannot perturb the
@@ -135,12 +140,16 @@ class Cluster:
         self.metrics: MetricsRegistry = MetricsRegistry() if spec.metrics else NULL_REGISTRY
         self.network.metrics = self.metrics
         self.kernel.metrics = self.metrics
+        self.tracer: Tracer | NullTracer = (
+            Tracer(clock=lambda: self.kernel.now) if spec.tracing else NULL_TRACER
+        )
         self.world = World(
             self.kernel,
             self.network,
             trace=self.trace,
             metrics=self.metrics,
             measure_bytes=spec.measure_bytes,
+            tracer=self.tracer,
         )
 
         config = ReplicaConfig(
@@ -177,6 +186,7 @@ class Cluster:
                 )
             replica = Replica(pid, config, service_factory, elector)
             replica.metrics = self.metrics.scope(pid)
+            replica.tracer = self.tracer
             self.world.add(replica, cpu=replica_cpu)
             self.replicas[pid] = replica
 
@@ -191,6 +201,7 @@ class Cluster:
                 retry_aborted=spec.retry_aborted,
                 max_abort_retries=spec.max_abort_retries,
             )
+            client.tracer = self.tracer
             self.world.add(client, cpu=profile.client_cpu)
             self.clients.append(client)
 
@@ -255,8 +266,18 @@ class Cluster:
         return self
 
     def export_timeline(self, path: str, include_events: bool = True) -> str:
-        """Write this run's metrics (and trace, if recorded) as a JSONL
+        """Write this run's metrics (and trace/spans, if recorded) as a JSONL
         timeline readable by ``repro report`` — see :mod:`repro.obs.timeline`."""
         from repro.obs.timeline import export_run  # local import: cycle guard
 
         return str(export_run(self, path, include_events=include_events))
+
+    def export_chrome(self, path: str) -> str:
+        """Write the causal spans as a Chrome trace-event file (load it at
+        ``ui.perfetto.dev`` or ``chrome://tracing``). Requires
+        ``ClusterSpec.tracing=True``."""
+        from repro.obs.chrome import export_chrome  # local import: cycle guard
+
+        if not self.tracer.enabled:
+            raise ConfigError("chrome export needs ClusterSpec(tracing=True)")
+        return str(export_chrome(self.tracer.store, path, horizon=self.kernel.now))

@@ -62,6 +62,11 @@ class ProposalItem:
     label: str
     prepare: Callable[[], Any]
     on_committed: Callable[[Proposal, InstanceId], None]
+    #: Causal-tracing context: the span this item's request originated in
+    #: (its ClientRequest delivery, or its execute span once E has been
+    #: modeled). Committed replies re-enter this context so a batched
+    #: request's reply joins *its own* trace, not its batch-mates'.
+    ctx: Any = None
 
 
 @dataclass(slots=True)
@@ -73,6 +78,8 @@ class _InFlight:
     timer: Any = None
     #: Virtual time the accept round left the leader (phase-latency metric).
     proposed_at: float = 0.0
+    #: Causal-tracing span covering propose -> majority of Accepteds.
+    span: Any = None
 
     def message(self) -> AcceptBatch:
         return AcceptBatch(
@@ -110,8 +117,10 @@ class SequentialProposer:
         the fate of anything already accepted somewhere."""
         self.active = False
         self._paused = False
-        if self.inflight is not None and self.inflight.timer is not None:
-            self.inflight.timer.cancel()
+        if self.inflight is not None:
+            if self.inflight.timer is not None:
+                self.inflight.timer.cancel()
+            self.replica.tracer.end(self.inflight.span, status="abandoned")
         self.inflight = None
         self.queue.clear()
 
@@ -178,12 +187,27 @@ class SequentialProposer:
         if metrics.enabled:
             metrics.counter("proposer.rounds").inc()
             metrics.counter("proposer.batched_instances").inc(len(batch))
+        tracer = replica.tracer
+        if tracer.enabled:
+            # The round rides the first batched request's trace: that request
+            # has waited longest, so the round is on *its* critical path.
+            flight.span = tracer.start_span(
+                "accept_round",
+                pid=replica.pid,
+                kind="round",
+                parent=batch[0][2].ctx if batch[0][2].ctx is not None else tracer.current,
+                attrs={"instances": list(flight.instances), "batch": len(batch)},
+            )
         others = replica.others
         if others:
-            replica.broadcast(others, flight.message())
-            flight.timer = replica.set_timer(
-                replica.config.accept_retry, self._retransmit, flight.instances
-            )
+            token = tracer.activate(flight.span)
+            try:
+                replica.broadcast(others, flight.message())
+                flight.timer = replica.set_timer(
+                    replica.config.accept_retry, self._retransmit, flight.instances
+                )
+            finally:
+                tracer.restore(token)
         self._check_majority()
 
     # ------------------------------------------------------------- responses
@@ -204,6 +228,7 @@ class SequentialProposer:
             flight.timer.cancel()
         self.inflight = None
         self.committed += len(flight.batch)
+        self.replica.tracer.end(flight.span)  # quorum reached
         metrics = self.replica.metrics
         if metrics.enabled:
             # Majority of Accepteds in hand: the propose->accepted phase of

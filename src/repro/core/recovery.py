@@ -71,6 +71,8 @@ class RecoveryCoordinator:
         #: Completed recoveries (stats).
         self.recoveries = 0
         self._started_at: float | None = None
+        #: Causal-tracing span covering prepare -> merge -> closing accept.
+        self._span: Any = None
 
     @property
     def in_progress(self) -> bool:
@@ -82,6 +84,13 @@ class RecoveryCoordinator:
         replica = self.replica
         self.cancel()
         self._started_at = replica.now
+        tracer = replica.tracer
+        if tracer.enabled:
+            self._span = tracer.start_span(
+                "recovery", pid=replica.pid, kind="recovery",
+                parent=replica.takeover_span,
+                attrs={"round": ballot.round, "leader": ballot.leader},
+            )
         # Promise to ourselves first: the leader is also an acceptor.
         replica.promise_locally(ballot)
         log = replica.log
@@ -99,10 +108,14 @@ class RecoveryCoordinator:
         others = replica.others
         if others:
             message = Prepare(ballot=ballot, gaps=gaps, from_instance=from_instance)
-            replica.broadcast(others, message)
-            round_.timer = replica.set_timer(
-                replica.config.prepare_retry, self._retransmit_prepare
-            )
+            token = tracer.activate(self._span)
+            try:
+                replica.broadcast(others, message)
+                round_.timer = replica.set_timer(
+                    replica.config.prepare_retry, self._retransmit_prepare
+                )
+            finally:
+                tracer.restore(token)
         self._check_prepare_majority()
 
     def on_promise(self, src: ProcessId, msg: Promise) -> None:
@@ -215,10 +228,17 @@ class RecoveryCoordinator:
             replica.accept_locally(ProposalNumber(round_.ballot, instance), value)
         others = replica.others
         if others:
-            replica.broadcast(others, self._accept_message(accept))
-            accept.timer = replica.set_timer(
-                replica.config.prepare_retry, self._retransmit_accept
-            )
+            # Promises arrive inside *their own* message spans; re-enter the
+            # recovery span so the closing accept round hangs under it.
+            tracer = replica.tracer
+            token = tracer.activate_for(self._span)
+            try:
+                replica.broadcast(others, self._accept_message(accept))
+                accept.timer = replica.set_timer(
+                    replica.config.prepare_retry, self._retransmit_accept
+                )
+            finally:
+                tracer.restore(token)
         self._check_accept_majority()
 
     def _accept_message(self, accept: _AcceptRound) -> AcceptBatch:
@@ -262,13 +282,18 @@ class RecoveryCoordinator:
         replica = self.replica
         for instance, value in accept.entries:
             replica.choose(instance, value, accept.ballot)
-        others = replica.others
-        if others:
-            replica.broadcast(others, ChosenBatch(items=accept.entries, ballot=accept.ballot))
-        # Proactively answer the clients whose requests we just finished for
-        # the old leader (they are probably retransmitting by now).
-        for _instance, value in accept.entries:
-            replica.reply_for_recovered(value)
+        tracer = replica.tracer
+        token = tracer.activate_for(self._span)
+        try:
+            others = replica.others
+            if others:
+                replica.broadcast(others, ChosenBatch(items=accept.entries, ballot=accept.ballot))
+            # Proactively answer the clients whose requests we just finished
+            # for the old leader (they are probably retransmitting by now).
+            for _instance, value in accept.entries:
+                replica.reply_for_recovered(value)
+        finally:
+            tracer.restore(token)
         top = accept.entries[-1][0]
         self._finish(accept.ballot, next_instance=top + 1)
 
@@ -283,6 +308,8 @@ class RecoveryCoordinator:
                     self.replica.now - self._started_at
                 )
         self._started_at = None
+        self.replica.tracer.end(self._span)
+        self._span = None
         self.replica.recovery_complete(next_instance)
 
     # -------------------------------------------------------------- lifecycle
@@ -293,6 +320,9 @@ class RecoveryCoordinator:
             self._accept.timer.cancel()
         self._prepare = None
         self._accept = None
+        if self._span is not None:
+            self.replica.tracer.end(self._span, status="cancelled")
+            self._span = None
 
     def reset(self) -> None:
         self.cancel()

@@ -56,6 +56,8 @@ from repro.core.xpaxos import ReadCoordinator
 from repro.election.base import LeaderElector
 from repro.errors import ServiceError
 from repro.obs.registry import NULL_REGISTRY, Scope
+from repro.obs.spans import Span
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.services.base import ExecutionContext, Service
 from repro.sim.process import Process
 from repro.types import InstanceId, ProcessId, ReplyStatus, RequestKind, StateTransferMode
@@ -125,11 +127,20 @@ class Replica(Process):
         self._chosen_at: dict[InstanceId, float] = {}
         self._takeover_started: float | None = None
 
+        #: Causal tracer (the harness swaps in the run's tracer). Protocol
+        #: code opens spans at semantic points (execute, accept rounds,
+        #: recovery); the world's envelope layer handles propagation.
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        #: Open leader-takeover span (its own trace; recovery nests under it).
+        self.takeover_span: Span | None = None
+
     # ======================================================== process events
     def on_start(self) -> None:
         self.elector.on_start()
 
     def on_crash(self) -> None:
+        self.tracer.end(self.takeover_span, status="crashed")
+        self.takeover_span = None
         self.elector.on_crash()
 
     def on_recover(self) -> None:
@@ -256,6 +267,8 @@ class Replica(Process):
         owner = f"w:{request.rid}"
         item_box: list[ProposalItem] = []
         waited = [False]
+        tracer = self.tracer
+        origin = tracer.current  # the ClientRequest delivery span (or None)
 
         def prepare() -> Any:
             if self.role not in (ReplicaRole.LEADING, ReplicaRole.RECOVERING):
@@ -272,12 +285,24 @@ class Replica(Process):
                 # this item re-enters once E has elapsed.
                 waited[0] = True
                 self.proposer.pause()
+                span: Span | None = None
+                if tracer.enabled:
+                    span = tracer.start_span(
+                        "execute", pid=self.pid, kind="execute",
+                        parent=origin, attrs={"rid": str(request.rid)},
+                    )
+                    item_box[0].ctx = span
 
                 def _execution_done() -> None:
+                    tracer.end(span)
                     self.proposer.resubmit_front(item_box[0])
                     self.proposer.resume()
 
-                self.set_timer(self.config.execute_time, _execution_done)
+                token = tracer.activate(span)
+                try:
+                    self.set_timer(self.config.execute_time, _execution_done)
+                finally:
+                    tracer.restore(token)
                 return DEFER
             read_keys, write_keys = self.service.locks_for(request.op)
             granted = self.locks.acquire_or_wait(
@@ -293,6 +318,11 @@ class Replica(Process):
                 self._pending_write_rids.discard(request.rid)
                 self.reply(src, request.rid, ReplyStatus.ERROR, str(exc))
                 return SKIP
+            if tracer.enabled and self.config.execute_time == 0:
+                # E is not modeled: record a zero-length execute marker so
+                # the waterfall still shows where execution happened.
+                tracer.instant("execute", pid=self.pid, kind="execute", parent=origin,
+                               attrs={"rid": str(request.rid)})
             payload = build_payload(self.config.state_mode, self.service, (result,))
             # Plain writes cannot abort, so their locks are only needed for
             # the execution itself (they guard against interleaving with
@@ -305,7 +335,10 @@ class Replica(Process):
             self._pending_write_rids.discard(request.rid)
             self.reply(src, request.rid, ReplyStatus.OK, proposal.reply)
 
-        item = ProposalItem(label=str(request.rid), prepare=prepare, on_committed=on_committed)
+        item = ProposalItem(
+            label=str(request.rid), prepare=prepare, on_committed=on_committed,
+            ctx=origin,
+        )
         item_box.append(item)
         return item
 
@@ -425,8 +458,15 @@ class Replica(Process):
         self._apply_ready()
         # Reply before the Chosen broadcast: the client's RRT is
         # 2M + E + 2m; informing the backups happens off the critical path.
+        # Each reply re-enters its request's own trace context so batched
+        # requests don't all land in the first request's trace.
+        tracer = self.tracer
         for pn, proposal, item in batch:
-            item.on_committed(proposal, pn.instance)
+            token = tracer.activate_for(item.ctx)
+            try:
+                item.on_committed(proposal, pn.instance)
+            finally:
+                tracer.restore(token)
         if self.others:
             items = tuple((pn.instance, proposal) for pn, proposal, _item in batch)
             self.broadcast(self.others, ChosenBatch(items=items, ballot=ballot))
@@ -435,6 +475,7 @@ class Replica(Process):
 
     def _apply_ready(self) -> None:
         """Apply chosen proposals in instance order up to the frontier."""
+        applied_before = self.applied
         while self.applied < self.log.frontier:
             next_instance = self.applied + 1
             value = self.log.chosen_value(next_instance)
@@ -454,6 +495,12 @@ class Replica(Process):
                     self.metrics.histogram("phase.chosen_applied").observe(
                         self.now - chosen_at
                     )
+        if self.tracer.enabled and self.applied > applied_before:
+            self.tracer.instant(
+                "apply", pid=self.pid, kind="apply",
+                attrs={"through": self.applied,
+                       "count": self.applied - applied_before},
+            )
         self._maybe_checkpoint()
 
     def _apply_proposal(self, value: Proposal) -> None:
@@ -520,11 +567,17 @@ class Replica(Process):
         what they missed."""
         if self.role is not ReplicaRole.LEADING or self.ballot is None:
             return
-        if self.others:
-            self.broadcast(
-                self.others, FrontierProbe(instance=self.applied, ballot=self.ballot)
-            )
-        self.set_timer(self.config.sync_interval, self._broadcast_frontier)
+        # Detach from whatever span armed this timer: anti-entropy is
+        # background traffic, not part of any request's causal chain.
+        token = self.tracer.activate(None)
+        try:
+            if self.others:
+                self.broadcast(
+                    self.others, FrontierProbe(instance=self.applied, ballot=self.ballot)
+                )
+            self.set_timer(self.config.sync_interval, self._broadcast_frontier)
+        finally:
+            self.tracer.restore(token)
 
     def _on_frontier_probe(self, src: ProcessId, msg: FrontierProbe) -> None:
         self.observe_round(msg.ballot.round)
@@ -595,12 +648,19 @@ class Replica(Process):
         self.observe_round(round_)
         self.ballot = Ballot(round_, self.pid)
         self.role = ReplicaRole.RECOVERING
+        if self.tracer.enabled:
+            self.takeover_span = self.tracer.start_trace(
+                f"takeover:{self.pid}", pid=self.pid, kind="takeover",
+                attrs={"round": round_},
+            )
         self.recovery.start(self.ballot)
 
     def _step_down(self) -> None:
         self.stats["stepped_down"] += 1
         self.metrics.counter("leader.stepdowns").inc()
         self._takeover_started = None
+        self.tracer.end(self.takeover_span, status="stepped_down")
+        self.takeover_span = None
         self.role = ReplicaRole.FOLLOWER
         self.ballot = None
         self.recovery.cancel()
@@ -661,8 +721,15 @@ class Replica(Process):
                 self.now - self._takeover_started
             )
             self._takeover_started = None
+        self.tracer.end(self.takeover_span)
+        self.takeover_span = None
         self.proposer.begin(next_instance)
-        self.set_timer(self.config.sync_interval, self._broadcast_frontier)
+        # Arm anti-entropy outside any request/recovery context.
+        token = self.tracer.activate(None)
+        try:
+            self.set_timer(self.config.sync_interval, self._broadcast_frontier)
+        finally:
+            self.tracer.restore(token)
 
     @property
     def is_active_or_recovering_leader(self) -> bool:

@@ -55,6 +55,8 @@ class ActiveTxn:
     results: list[ExecutionResult] = field(default_factory=list)
     #: op replies already sent, for retransmit dedup: rid -> value.
     replied: dict[RequestId, Any] = field(default_factory=dict)
+    #: Causal-tracing scope span: first op -> commit chosen / rollback.
+    span: Any = None
 
 
 class TxnManager:
@@ -88,6 +90,13 @@ class TxnManager:
         if txn is None:
             txn = ActiveTxn(txn_id=request.txn, client=request.rid.client)
             self.active[request.txn] = txn
+            if replica.tracer.enabled:
+                # A transaction scope is its own trace: it outlives each of
+                # its ops' request traces and ends at commit/abort.
+                txn.span = replica.tracer.start_trace(
+                    f"txn:{txn.txn_id}", pid=replica.pid, kind="txn",
+                    attrs={"txn": txn.txn_id, "client": txn.client},
+                )
         if request.rid in txn.replied:  # client retransmit
             replica.reply(src, request.rid, ReplyStatus.OK, txn.replied[request.rid])
             return
@@ -161,10 +170,12 @@ class TxnManager:
             self.active.pop(txn.txn_id, None)
             self.commits += 1
             replica.metrics.counter("tpaxos.commits").inc()
+            replica.tracer.end(txn.span)
             replica.reply(src, request.rid, ReplyStatus.OK, proposal.reply)
 
         replica.proposer.submit(
-            ProposalItem(label=f"txn:{txn.txn_id}", prepare=prepare, on_committed=on_committed)
+            ProposalItem(label=f"txn:{txn.txn_id}", prepare=prepare,
+                         on_committed=on_committed, ctx=replica.tracer.current)
         )
 
     # ----------------------------------------------------------------- abort
@@ -188,6 +199,7 @@ class TxnManager:
         self.replica.locks.release_all(txn.txn_id)
         self.active.pop(txn.txn_id, None)
         self.aborts += 1
+        self.replica.tracer.end(txn.span, status=f"aborted:{cause}")
         self.replica.metrics.counter(f"tpaxos.abort.{cause}").inc()
 
     def abort_all(self) -> None:
@@ -210,6 +222,10 @@ class TxnManager:
         self.aborts += dropped
         if dropped:
             self.replica.metrics.counter("tpaxos.abort.leader_switch").inc(dropped)
+        tracer = self.replica.tracer
+        if tracer.enabled:
+            for txn in self.active.values():
+                tracer.end(txn.span, status="aborted:leader_switch")
         self.active.clear()
 
     def reset(self) -> None:

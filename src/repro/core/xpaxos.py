@@ -33,6 +33,8 @@ class _PendingRead:
     ready: bool = False          # execution finished (E elapsed)
     reply_value: Any = None
     started_at: float = 0.0      # leader receipt time (confirm-round metric)
+    ctx: Any = None              # tracing: the ClientRequest delivery span
+    span: Any = None             # tracing: the read's execute span (E > 0)
 
 
 class ReadCoordinator:
@@ -66,11 +68,22 @@ class ReadCoordinator:
             self._finished[rid.client] = rid.seq - 1
         pending = _PendingRead(request=request, src=src, started_at=self.replica.now)
         self._pending[rid] = pending
+        tracer = self.replica.tracer
+        pending.ctx = tracer.current
         execute_time = self.replica.config.execute_time
         if execute_time > 0:
             # Execution and confirm-collection proceed in parallel (§3.4):
             # the read completes at max(E, confirm latency).
-            self.replica.set_timer(execute_time, self._executed, rid)
+            if tracer.enabled:
+                pending.span = tracer.start_span(
+                    "execute", pid=self.replica.pid, kind="execute",
+                    attrs={"rid": str(rid)},
+                )
+            token = tracer.activate(pending.span)
+            try:
+                self.replica.set_timer(execute_time, self._executed, rid)
+            finally:
+                tracer.restore(token)
         else:
             self._executed(rid)
 
@@ -78,6 +91,7 @@ class ReadCoordinator:
         pending = self._pending.get(rid)
         if pending is None:
             return
+        self.replica.tracer.end(pending.span)
         try:
             pending.reply_value = self.replica.execute_read(pending.request)
         except Exception as exc:  # malformed read: reject, don't crash
@@ -125,11 +139,17 @@ class ReadCoordinator:
             metrics.histogram("xpaxos.confirm_round").observe(
                 replica.now - pending.started_at
             )
-        replica.send(
-            pending.src,
-            Reply(rid=rid, status=ReplyStatus.OK, value=pending.reply_value,
-                  leader=replica.pid),
-        )
+        # Reply inside the read's own trace: triggered by the deciding
+        # event (execution done, or the majority-completing Confirm).
+        token = replica.tracer.activate_for(pending.ctx)
+        try:
+            replica.send(
+                pending.src,
+                Reply(rid=rid, status=ReplyStatus.OK, value=pending.reply_value,
+                      leader=replica.pid),
+            )
+        finally:
+            replica.tracer.restore(token)
 
     # ------------------------------------------------------------ backup side
     def confirm_for_backup(self, request: ClientRequest) -> None:
@@ -145,6 +165,10 @@ class ReadCoordinator:
     def clear(self) -> None:
         """Leadership lost: drop pending reads (clients retransmit to the
         new leader) and accumulated confirms (they were for our ballot)."""
+        tracer = self.replica.tracer
+        if tracer.enabled:
+            for pending in self._pending.values():
+                tracer.end(pending.span, status="abandoned")
         self._pending.clear()
         self._confirms.clear()
 

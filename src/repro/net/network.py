@@ -31,6 +31,10 @@ class SimNetwork:
         #: Observability sink: mirrors the site-pair counters into the run's
         #: registry (``net.site.<src>-><dst>``) plus drop-cause counters.
         self.metrics: MetricsRegistry = NULL_REGISTRY
+        #: Why the most recent :meth:`delays` call dropped its message
+        #: ("partition" | "loss"), or ``None`` if it delivered. Read by the
+        #: world to annotate dropped message spans with a cause.
+        self.last_drop_cause: str | None = None
 
     def _link(self, src: ProcessId, dst: ProcessId) -> Link:
         key = (src, dst)
@@ -43,8 +47,10 @@ class SimNetwork:
         return link
 
     def delays(self, src: ProcessId, dst: ProcessId, depart: float) -> tuple[float, ...]:
+        self.last_drop_cause = None
         if self.partitions.blocked(src, dst):
             self.messages_dropped += 1
+            self.last_drop_cause = "partition"
             self.metrics.counter("net.drop.partition").inc()
             return ()
         site_key = (self.topology.site_of(src), self.topology.site_of(dst))
@@ -54,6 +60,7 @@ class SimNetwork:
         copies = self._link(src, dst).delays(depart)
         if not copies:
             self.messages_dropped += 1
+            self.last_drop_cause = "loss"
             self.metrics.counter("net.drop.loss").inc()
         return copies
 

@@ -11,8 +11,15 @@ and the protocol layers record into it when a run enables metrics
 Disabled metrics cost one dict hit and a no-op call per instrumentation
 point (:data:`NULL_REGISTRY`), and recording never reads RNGs or mutates
 schedules — instrumented and uninstrumented runs are byte-identical.
+
+:mod:`repro.obs.tracing` adds causal request tracing on the same passivity
+contract: :class:`Tracer` records :class:`repro.obs.spans.Span` trees per
+client request, :func:`critical_path` attributes wall time to the §3.4
+``M``/``E``/``m`` components, and :mod:`repro.obs.chrome` exports
+Perfetto-loadable trace-event files.
 """
 
+from repro.obs.chrome import chrome_events, export_chrome, validate_chrome_trace
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -24,7 +31,18 @@ from repro.obs.registry import (
     Scope,
 )
 from repro.obs.report import render_comparison, render_report
+from repro.obs.spans import Span, SpanStore, SpanTree
 from repro.obs.timeline import RunExport, export_run, load_export
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    RequestPath,
+    Tracer,
+    analyze_requests,
+    conformance,
+    critical_path,
+    summarize_paths,
+)
 
 __all__ = [
     "Counter",
@@ -33,11 +51,25 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullRegistry",
+    "NullTracer",
+    "RequestPath",
     "RunExport",
     "Scope",
+    "Span",
+    "SpanStore",
+    "SpanTree",
+    "Tracer",
+    "analyze_requests",
+    "chrome_events",
+    "conformance",
+    "critical_path",
+    "export_chrome",
     "export_run",
     "load_export",
     "render_comparison",
     "render_report",
+    "summarize_paths",
+    "validate_chrome_trace",
 ]

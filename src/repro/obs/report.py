@@ -13,6 +13,7 @@ from typing import Mapping
 
 from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.timeline import RunExport, registry_records
+from repro.obs.tracing import COMPONENTS, analyze_requests, summarize_paths
 from repro.util.tables import format_table
 
 
@@ -110,6 +111,32 @@ def phase_table(export: RunExport) -> str:
     )
 
 
+# -------------------------------------------------------------- critical path
+def critical_path_table(export: RunExport) -> str:
+    """Per-request-kind critical-path attribution to the §3.4 components
+    (M = client<->replica hop, E = execution, m = replica<->replica hop).
+    Empty when the export carries no causal spans."""
+    if not export.spans:
+        return ""
+    paths = analyze_requests(export.span_store())
+    if not paths:
+        return ""
+    rows: list[list[object]] = []
+    for kind, s in summarize_paths(paths).items():
+        rows.append(
+            [kind, "mean", s.n, f"{s.mean_total * 1e3:.3f}",
+             *(f"{s.mean[c] * 1e3:.3f}" for c in COMPONENTS),
+             s.incomplete or ""]
+        )
+        rows.append(
+            [kind, "p95", "", f"{s.p95_total * 1e3:.3f}",
+             *(f"{s.p95[c] * 1e3:.3f}" for c in COMPONENTS), ""]
+        )
+    return "Critical-path attribution (ms)\n" + format_table(
+        ["kind", "stat", "n", "total", *COMPONENTS, "incomplete"], rows
+    )
+
+
 # ------------------------------------------------------------------ comparison
 def compare_table(a: RunExport, b: RunExport) -> str:
     """Side-by-side message counters of two exports, with deltas."""
@@ -146,6 +173,7 @@ def render_report(export: RunExport) -> str:
             message_table(export),
             per_replica_table(export),
             phase_table(export),
+            critical_path_table(export),
         )
         if block
     ]

@@ -8,23 +8,30 @@ One run exports to one JSON-Lines file, self-describing record by record:
 * ``{"record": "hist", "name": ..., **Histogram.snapshot()}``;
 * ``{"record": "event", "t": ..., "kind": ..., "src": ..., "dst": ...,
   "type": ...}`` — one per trace event when tracing was enabled;
+* ``{"record": "span", ...}`` — one per causal span
+  (:meth:`repro.obs.spans.Span.to_record`) when request tracing was enabled;
 * ``{"record": "result", ...}`` — the :class:`repro.cluster.metrics.RunResult`
   aggregates.
 
 The format is append-only and line-oriented on purpose: exports of long
 runs stream, partial files stay parseable up to the truncation point, and
 ``grep`` works on them. :func:`load_export` reads a file back into a
-:class:`RunExport` for the ``repro report`` renderer and for tests.
+:class:`RunExport` for the ``repro report`` renderer and for tests; it is
+lenient — blank, corrupt, or unknown lines are *skipped and counted*
+(``RunExport.skipped``, one summary warning), so a truncated or
+hand-edited export still loads as far as it goes.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.spans import SpanStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.harness import Cluster
@@ -87,6 +94,7 @@ def export_run(
             },
             registry=cluster.metrics,
             events=cluster.trace if (include_events and cluster.trace is not None) else (),
+            spans=cluster.tracer.store.to_records() if cluster.tracer.enabled else (),
             result={
                 "record": "result",
                 "duration": result.duration,
@@ -110,11 +118,14 @@ def _write_records(
     registry: MetricsRegistry,
     events: Iterable[Any],
     result: dict[str, Any],
+    spans: Iterable[dict[str, Any]] = (),
 ) -> None:
     fh.write(_dump(meta) + "\n")
     for record in registry_records(registry):
         fh.write(_dump(record) + "\n")
     for record in trace_records(events):
+        fh.write(_dump(record) + "\n")
+    for record in spans:
         fh.write(_dump(record) + "\n")
     fh.write(_dump(result) + "\n")
 
@@ -129,7 +140,15 @@ class RunExport:
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
     events: list[dict[str, Any]] = field(default_factory=list)
+    spans: list[dict[str, Any]] = field(default_factory=list)
     result: dict[str, Any] = field(default_factory=dict)
+    #: Lines :func:`load_export` could not parse (blank lines excluded).
+    skipped: int = 0
+
+    def span_store(self) -> SpanStore:
+        """Rebuild a :class:`repro.obs.spans.SpanStore` from the span
+        records (for tree reconstruction and critical-path analysis)."""
+        return SpanStore.from_records(self.spans)
 
     def message_types(self) -> list[str]:
         """Every message type that appears in send/deliver/drop counters."""
@@ -145,8 +164,16 @@ class RunExport:
 
 
 def load_export(path: str | Path) -> RunExport:
-    """Parse a JSONL export written by :func:`export_run`."""
+    """Parse a JSONL export written by :func:`export_run`.
+
+    Lenient by design: a timeline may be truncated mid-line (a run was
+    killed), hold records from a newer schema, or have been edited by hand.
+    Unparseable and unrecognized lines are skipped and counted in
+    :attr:`RunExport.skipped`; one summary warning reports the count and
+    the first offending line number.
+    """
     export = RunExport(path=str(path))
+    first_bad: tuple[int, str] | None = None
     with Path(path).open("r", encoding="utf-8") as fh:
         for line_number, line in enumerate(fh, start=1):
             line = line.strip()
@@ -155,8 +182,11 @@ def load_export(path: str | Path) -> RunExport:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_number}: bad JSONL line: {exc}") from exc
-            kind = record.get("record")
+                export.skipped += 1
+                if first_bad is None:
+                    first_bad = (line_number, f"bad JSONL line: {exc}")
+                continue
+            kind = record.get("record") if isinstance(record, dict) else None
             if kind == "meta":
                 export.meta = record
             elif kind == "counter":
@@ -167,8 +197,20 @@ def load_export(path: str | Path) -> RunExport:
                 export.histograms[record["name"]] = Histogram.from_snapshot(record)
             elif kind == "event":
                 export.events.append(record)
+            elif kind == "span":
+                export.spans.append(record)
             elif kind == "result":
                 export.result = record
             else:
-                raise ValueError(f"{path}:{line_number}: unknown record kind {kind!r}")
+                export.skipped += 1
+                if first_bad is None:
+                    first_bad = (line_number, f"unknown record kind {kind!r}")
+    if export.skipped:
+        line_number, why = first_bad  # type: ignore[misc]
+        warnings.warn(
+            f"{path}: skipped {export.skipped} unparseable line(s); "
+            f"first at line {line_number}: {why}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return export

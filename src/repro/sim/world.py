@@ -25,6 +25,8 @@ from typing import Any, Callable, Protocol as TypingProtocol
 
 from repro.errors import SimulationError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import Span
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.sim.cpu import CpuModel, CpuProfile
 from repro.sim.kernel import EventHandle, Kernel
 from repro.sim.process import Env, Process, TimerHandle
@@ -115,6 +117,7 @@ class World:
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
         measure_bytes: bool = False,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.kernel = kernel
         self.network: NetworkLike = network if network is not None else ZeroLatencyNetwork()
@@ -122,6 +125,13 @@ class World:
         #: Per-message-type send/deliver/drop (and optionally byte) counts
         #: land here. Purely passive: metrics never touch RNGs or schedules.
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        #: Causal tracer: the world is the envelope layer, so it owns context
+        #: propagation — a message span is captured at ``_send``, travels as
+        #: an extra (always-present) argument through the kernel events, and
+        #: is re-activated around the receiver's handler. Message dataclasses
+        #: are never touched, and the event schedule is identical with
+        #: tracing on or off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._measure_bytes = measure_bytes and self.metrics.enabled
         self._processes: dict[ProcessId, Process] = {}
         self._cpus: dict[ProcessId, CpuModel] = {}
@@ -185,32 +195,54 @@ class World:
             metrics.counter(f"proc.{src}.send.{type_name}").inc()
             if self._measure_bytes:
                 metrics.counter(f"msg.send_bytes.{type_name}").inc(encoded_size(msg))
+        tracer = self.tracer
+        span: Span | None = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                f"msg.{type(msg).__name__}", pid=dst, kind="message",
+                attrs={"src": src, "dst": dst},
+            )
         depart = self._cpus[src].send_completion(self.kernel.now)
         copies = self.network.delays(src, dst, depart)
         if not copies:
             if self.trace is not None:
                 self.trace.emit(self.kernel.now, "drop", src, dst, msg)
             self._count_drop(msg)
+            if span is not None:
+                cause = getattr(self.network, "last_drop_cause", None)
+                if cause:
+                    span.attrs["cause"] = cause
+                tracer.end(span, status="dropped")
         for delay in copies:
-            self.kernel.schedule_at(depart + delay, self._arrive, src, dst, msg)
+            self.kernel.schedule_at(depart + delay, self._arrive, src, dst, msg, span)
 
-    def _arrive(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+    def _arrive(
+        self, src: ProcessId, dst: ProcessId, msg: Any, span: Span | None
+    ) -> None:
         receiver = self._processes[dst]
         if not receiver.alive:
             if self.trace is not None:
                 self.trace.emit(self.kernel.now, "drop", src, dst, msg)
             self._count_drop(msg)
+            if span is not None:
+                span.attrs.setdefault("cause", "crashed")
+                self.tracer.end(span, status="dropped")
             return
         epoch = self._epochs[dst]
         completion = self._cpus[dst].recv_completion(self.kernel.now)
-        self.kernel.schedule_at(completion, self._handle, src, dst, msg, epoch)
+        self.kernel.schedule_at(completion, self._handle, src, dst, msg, epoch, span)
 
-    def _handle(self, src: ProcessId, dst: ProcessId, msg: Any, epoch: int) -> None:
+    def _handle(
+        self, src: ProcessId, dst: ProcessId, msg: Any, epoch: int, span: Span | None
+    ) -> None:
         receiver = self._processes[dst]
         if not receiver.alive or self._epochs[dst] != epoch:
             if self.trace is not None:
                 self.trace.emit(self.kernel.now, "drop", src, dst, msg)
             self._count_drop(msg)
+            if span is not None:
+                span.attrs.setdefault("cause", "stale_epoch")
+                self.tracer.end(span, status="dropped")
             return
         if self.trace is not None:
             self.trace.emit(self.kernel.now, "deliver", src, dst, msg)
@@ -219,20 +251,33 @@ class World:
             type_name = type(msg).__name__
             metrics.counter(f"msg.deliver.{type_name}").inc()
             metrics.counter(f"proc.{dst}.recv.{type_name}").inc()
-        receiver.on_message(src, msg)
+        tracer = self.tracer
+        tracer.end(span)  # duplicate copies keep the first delivery's end
+        token = tracer.activate(span)
+        try:
+            receiver.on_message(src, msg)
+        finally:
+            tracer.restore(token)
 
     # ----------------------------------------------------------------- timers
     def _set_timer(
         self, pid: ProcessId, delay: float, fn: Callable[..., None], *args: Any
     ) -> TimerHandle:
         epoch = self._epochs[pid]
+        # Timers carry the ambient span across the delay: a retransmit or a
+        # deferred execution stays inside the request that armed it.
+        ctx = self.tracer.current
 
         def fire() -> None:
             process = self._processes[pid]
             if process.alive and self._epochs[pid] == epoch:
                 if self.trace is not None:
                     self.trace.emit(self.kernel.now, "timer", pid, None, fn.__name__)
-                fn(*args)
+                token = self.tracer.activate(ctx)
+                try:
+                    fn(*args)
+                finally:
+                    self.tracer.restore(token)
 
         return _SimTimer(self.kernel.schedule(delay, fire))
 
@@ -247,6 +292,8 @@ class World:
         self._cpus[pid].reset()
         if self.trace is not None:
             self.trace.emit(self.kernel.now, "crash", pid, None)
+        if self.tracer.enabled:
+            self.tracer.instant(f"crash:{pid}", pid=pid, kind="fault", parent=None)
         process.on_crash()
 
     def recover(self, pid: ProcessId) -> None:
@@ -257,6 +304,8 @@ class World:
         process.alive = True
         if self.trace is not None:
             self.trace.emit(self.kernel.now, "recover", pid, None)
+        if self.tracer.enabled:
+            self.tracer.instant(f"recover:{pid}", pid=pid, kind="fault", parent=None)
         process.on_recover()
 
     def schedule_crash(self, pid: ProcessId, at: float) -> EventHandle:

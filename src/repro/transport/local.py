@@ -22,6 +22,7 @@ from typing import Any, Callable
 
 from repro.errors import TransportError
 from repro.net.latency import LatencyModel
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.sim.process import Env, Process, TimerHandle
 from repro.types import ProcessId
 
@@ -70,9 +71,19 @@ class _LocalEnv(Env):
 class LocalRuntime:
     """Threaded wall-clock runtime for :class:`repro.sim.process.Process`es."""
 
-    def __init__(self, latency: LatencyModel | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
         self.latency = latency
         self.seed = seed
+        #: Causal tracing against the wall clock. Handlers all run on the
+        #: scheduler thread, so the ambient-span discipline is safe here;
+        #: context travels in the delivery/timer closures (envelope layer),
+        #: exactly as in the simulated world.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._t0 = time.monotonic()
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -137,10 +148,25 @@ class LocalRuntime:
         if receiver is None:
             raise TransportError(f"{src} sent to unknown process {dst!r}")
         delay = self.latency.sample(self._rng) if self.latency is not None else 0.0
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                f"msg.{type(msg).__name__}", pid=dst, kind="message",
+                attrs={"src": src, "dst": dst},
+            )
 
         def deliver() -> None:
             if receiver.alive:
-                receiver.on_message(src, msg)
+                tracer.end(span)
+                token = tracer.activate(span)
+                try:
+                    receiver.on_message(src, msg)
+                finally:
+                    tracer.restore(token)
+            elif span is not None:
+                span.attrs.setdefault("cause", "crashed")
+                tracer.end(span, status="dropped")
 
         self._push(delay, deliver)
 
@@ -149,10 +175,16 @@ class LocalRuntime:
     ) -> TimerHandle:
         handle = _LocalTimer()
         process = self._processes[pid]
+        tracer = self.tracer
+        ctx = tracer.current
 
         def fire() -> None:
             if handle.active and process.alive:
-                fn(*args)
+                token = tracer.activate(ctx)
+                try:
+                    fn(*args)
+                finally:
+                    tracer.restore(token)
 
         self._push(delay, fire)
         return handle

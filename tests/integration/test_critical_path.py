@@ -1,0 +1,135 @@
+"""Latency-formula conformance (§3.4): the critical-path analyzer's measured
+decomposition must reproduce the paper's analytic formulas exactly on a
+calibrated constant-latency profile with free CPUs —
+
+* basic protocol writes:  ``2M + E + 2m``
+* X-Paxos reads:          ``2M + max(E, m)``
+* original (unreplicated): ``2M + E``  (E = 0 here: the original path
+  models no separate execution delay)
+
+``M`` and ``m`` are one-way client<->replica and replica<->replica
+latencies. With deterministic links the only slack is float rounding, so
+the tolerance is one scheduling quantum (1 µs), far below M or m.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import LatencyModelInputs
+from repro.client.workload import single_kind_steps
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.net.latency import ConstantLatency
+from repro.net.link import LinkSpec
+from repro.net.profiles import NetworkProfile
+from repro.net.topology import Topology
+from repro.obs.tracing import analyze_requests, conformance, summarize_paths
+from repro.sim.cpu import CpuProfile
+from repro.types import RequestKind
+
+M = 400e-6   # one-way client <-> replica
+SMALL_m = 150e-6  # one-way replica <-> replica
+QUANTUM = 1e-6  # acceptance tolerance: one scheduling quantum
+
+
+def calibrated_profile(client_replica: float = M, replica_replica: float = SMALL_m):
+    def builder(replicas, clients):
+        link = lambda latency: LinkSpec(  # noqa: E731
+            latency=ConstantLatency(latency), jitter_reorder=False
+        )
+        topo = Topology(default=link(client_replica))
+        topo.place_all(list(replicas), "srv")
+        topo.place_all(list(clients), "cli")
+        topo.set_intra("srv", link(replica_replica))
+        topo.set_intra("cli", link(client_replica))
+        return topo
+
+    return NetworkProfile(
+        name="calibrated",
+        description=f"constant M={client_replica} m={replica_replica}",
+        replica_cpu=CpuProfile(),
+        client_cpu=CpuProfile(),
+        paper_rrt={},
+        _builder=builder,
+        per_connection_overhead=0.0,
+    )
+
+
+def run_traced(kind: RequestKind, execute_time: float = 0.0, requests: int = 8):
+    spec = ClusterSpec(
+        profile=calibrated_profile(),
+        tracing=True,
+        execute_time=execute_time,
+        seed=0,
+    )
+    cluster = Cluster(spec, [single_kind_steps(kind, requests)])
+    cluster.run(max_time=60.0).drain()
+    return cluster
+
+
+def paths_of(cluster):
+    paths = analyze_requests(cluster.tracer.store)
+    assert paths and all(p.complete for p in paths)
+    return paths
+
+
+class TestWriteConformance:
+    @pytest.mark.parametrize("execute", [0.0, 300e-6], ids=["E0", "E300us"])
+    def test_write_rrt_is_2M_E_2m(self, execute):
+        cluster = run_traced(RequestKind.WRITE, execute_time=execute)
+        paths = paths_of(cluster)
+        model = LatencyModelInputs(
+            client_replica=M, replica_replica=SMALL_m, execute=execute
+        )
+        row = conformance(paths, model)["write"]
+        assert row.formula == "2M + E + 2m"
+        assert abs(row.deviation) < QUANTUM
+        # And the decomposition itself lands on the right components.
+        summary = summarize_paths(paths)["write"]
+        assert summary.mean["M"] == pytest.approx(2 * M, abs=QUANTUM)
+        assert summary.mean["E"] == pytest.approx(execute, abs=QUANTUM)
+        assert summary.mean["m"] == pytest.approx(2 * SMALL_m, abs=QUANTUM)
+        assert summary.mean["other"] == pytest.approx(0.0, abs=QUANTUM)
+
+
+class TestReadConformance:
+    @pytest.mark.parametrize("execute", [0.0, 300e-6], ids=["E<m", "E>m"])
+    def test_read_rrt_is_2M_max_E_m(self, execute):
+        cluster = run_traced(RequestKind.READ, execute_time=execute)
+        paths = paths_of(cluster)
+        model = LatencyModelInputs(
+            client_replica=M, replica_replica=SMALL_m, execute=execute
+        )
+        row = conformance(paths, model)["read"]
+        assert row.formula == "2M + max(E, m)"
+        assert row.expected == pytest.approx(2 * M + max(execute, SMALL_m))
+        assert abs(row.deviation) < QUANTUM
+        # The binding constraint shows up in the attribution: confirms (m)
+        # bound the read when m > E; execution (E) when E > m.
+        summary = summarize_paths(paths)["read"]
+        if execute > SMALL_m:
+            assert summary.mean["E"] == pytest.approx(execute, abs=QUANTUM)
+        else:
+            assert summary.mean["m"] == pytest.approx(SMALL_m, abs=QUANTUM)
+
+    def test_disabled_xpaxos_reads_held_to_write_formula(self):
+        spec = ClusterSpec(
+            profile=calibrated_profile(), tracing=True, xpaxos_reads=False, seed=0
+        )
+        cluster = Cluster(spec, [single_kind_steps(RequestKind.READ, 6)])
+        cluster.run(max_time=60.0).drain()
+        paths = paths_of(cluster)
+        model = LatencyModelInputs(client_replica=M, replica_replica=SMALL_m, execute=0.0)
+        row = conformance(paths, model, xpaxos_reads=False)["read"]
+        assert row.formula == "2M + E + 2m"
+        assert abs(row.deviation) < QUANTUM
+
+
+class TestOriginalConformance:
+    def test_original_rrt_is_2M(self):
+        cluster = run_traced(RequestKind.ORIGINAL)
+        paths = paths_of(cluster)
+        model = LatencyModelInputs(client_replica=M, replica_replica=SMALL_m, execute=0.0)
+        row = conformance(paths, model)["original"]
+        assert row.formula == "2M + E"
+        assert abs(row.deviation) < QUANTUM

@@ -81,17 +81,20 @@ class TestExportRoundTrip:
         }
         assert export.message_types() == ["A", "B", "C"]
 
-    def test_load_rejects_bad_json(self, tmp_path):
+    def test_load_skips_bad_json_with_warning(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"record": "meta"}\nnot json\n')
-        with pytest.raises(ValueError, match="bad JSONL line"):
-            load_export(path)
+        with pytest.warns(RuntimeWarning, match="skipped 1 unparseable"):
+            export = load_export(path)
+        assert export.skipped == 1
+        assert export.meta == {"record": "meta"}
 
-    def test_load_rejects_unknown_record(self, tmp_path):
+    def test_load_skips_unknown_record_with_warning(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text(json.dumps({"record": "mystery"}) + "\n")
-        with pytest.raises(ValueError, match="unknown record kind"):
-            load_export(path)
+        with pytest.warns(RuntimeWarning, match="unknown record kind 'mystery'"):
+            export = load_export(path)
+        assert export.skipped == 1
 
     def test_load_skips_blank_lines(self, tmp_path):
         path = tmp_path / "sparse.jsonl"

@@ -1,0 +1,276 @@
+"""Unit tests for the causal-span data model, the tracer, the critical-path
+analyzer, and the Chrome trace-event exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.chrome import chrome_events, export_chrome, validate_chrome_trace
+from repro.obs.spans import Span, SpanStore, SpanTree
+from repro.obs.tracing import (
+    Tracer,
+    analyze_requests,
+    classify_span,
+    critical_path,
+    summarize_paths,
+)
+
+
+def make_tracer():
+    clock = [0.0]
+    tracer = Tracer(clock=lambda: clock[0])
+    return tracer, clock
+
+
+# ---------------------------------------------------------------- span model
+class TestSpanRecords:
+    def test_round_trip(self):
+        span = Span(span_id=3, trace_id=1, parent_id=2, name="x", kind="message",
+                    pid="r0", start=0.5, end=0.75, status="dropped",
+                    attrs={"src": "c0", "dst": "r0"})
+        again = Span.from_record(span.to_record())
+        assert again == span
+
+    def test_open_span_round_trip(self):
+        span = Span(span_id=1, trace_id=1, parent_id=None, name="req",
+                    kind="request", pid="c0", start=0.0)
+        record = span.to_record()
+        assert record["end"] is None
+        again = Span.from_record(record)
+        assert not again.finished and again.duration == 0.0
+
+    def test_store_round_trip_preserves_order(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("req", pid="c0")
+        tracer.start_span("child", pid="r0", parent=root)
+        clock[0] = 1.0
+        tracer.end(root)
+        store = SpanStore.from_records(list(tracer.store.to_records()))
+        assert [s.span_id for s in store] == [s.span_id for s in tracer.store]
+        assert store.roots()[0].name == "req"
+
+
+class TestTracer:
+    def test_ambient_parenting(self):
+        tracer, _ = make_tracer()
+        root = tracer.start_trace("req")
+        token = tracer.activate(root)
+        child = tracer.start_span("inner")
+        tracer.restore(token)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert tracer.current is None
+
+    def test_end_is_idempotent(self):
+        tracer, clock = make_tracer()
+        span = tracer.start_trace("req")
+        clock[0] = 1.0
+        tracer.end(span)
+        clock[0] = 2.0
+        tracer.end(span, status="dropped")  # duplicate delivery: no-op
+        assert span.end == 1.0 and span.status == "ok"
+        tracer.end(None)  # None-safe
+
+    def test_activate_for_keeps_deeper_same_trace_span(self):
+        tracer, _ = make_tracer()
+        root = tracer.start_trace("req")
+        deep = tracer.start_span("deep", parent=root)
+        tracer.activate(deep)
+        tracer.activate_for(root)  # same trace: ambient stays the deeper span
+        assert tracer.current is deep
+        other = tracer.start_trace("other")
+        tracer.activate_for(other)  # different trace: switches
+        assert tracer.current is other
+
+    def test_instant_is_zero_duration(self):
+        tracer, clock = make_tracer()
+        clock[0] = 0.25
+        mark = tracer.instant("apply", pid="r0")
+        assert mark.start == mark.end == 0.25
+
+
+# ----------------------------------------------------------------- span trees
+class TestSpanTree:
+    def test_orphans_retained_and_flagged(self):
+        spans = [
+            Span(span_id=1, trace_id=1, parent_id=None, name="root",
+                 kind="request", pid="c0", start=0.0, end=1.0),
+            Span(span_id=5, trace_id=1, parent_id=99, name="lost-parent",
+                 kind="round", pid="r1", start=0.4, end=0.6),
+            Span(span_id=6, trace_id=1, parent_id=5, name="under-orphan",
+                 kind="message", pid="r0", start=0.45, end=0.5),
+        ]
+        tree = SpanTree.build(spans, trace_id=1)
+        assert [s.span_id for s in tree.roots] == [1]
+        assert [s.span_id for s in tree.orphans] == [5]
+        assert tree.is_orphan(spans[1]) and not tree.is_orphan(spans[0])
+        walked = [s.span_id for s, _d in tree.walk()]
+        assert walked == [1, 5, 6]  # orphan subtree still visited
+        text = tree.render_waterfall()
+        assert "orphaned spans (parent missing)" in text
+        assert "lost-parent" in text and "under-orphan" in text
+
+    def test_waterfall_marks_status_and_open_spans(self):
+        spans = [
+            Span(span_id=1, trace_id=1, parent_id=None, name="root",
+                 kind="request", pid="c0", start=0.0, end=1.0),
+            Span(span_id=2, trace_id=1, parent_id=1, name="msg.Accept",
+                 kind="message", pid="r1", start=0.1, end=0.2, status="dropped"),
+            Span(span_id=3, trace_id=1, parent_id=1, name="stuck",
+                 kind="round", pid="r0", start=0.3),
+        ]
+        text = SpanTree.build(spans, 1).render_waterfall()
+        assert "[dropped]" in text and "(open)" in text
+
+
+# -------------------------------------------------------------- critical path
+def build_write_chain(tracer, clock, M=0.4, E=0.3, m=0.3):
+    """Craft the canonical basic-protocol chain: total = 2M + E + 2m."""
+    t = 0.0
+    clock[0] = t
+    root = tracer.start_trace("request:c0#0", pid="c0", kind="request",
+                              attrs={"rid": "c0#0", "kind": "write"})
+    cr = tracer.start_span("msg.ClientRequest", pid="r0", kind="message",
+                           parent=root, attrs={"src": "c0", "dst": "r0"})
+    clock[0] = t = M
+    tracer.end(cr)
+    execute = tracer.start_span("execute", pid="r0", kind="execute", parent=cr)
+    clock[0] = t = M + E
+    tracer.end(execute)
+    round_ = tracer.start_span("accept_round", pid="r0", kind="round", parent=execute)
+    accept = tracer.start_span("msg.AcceptBatch", pid="r1", kind="message",
+                               parent=round_, attrs={"src": "r0", "dst": "r1"})
+    clock[0] = t = M + E + m
+    tracer.end(accept)
+    accepted = tracer.start_span("msg.AcceptedBatch", pid="r0", kind="message",
+                                 parent=accept, attrs={"src": "r1", "dst": "r0"})
+    clock[0] = t = M + E + 2 * m
+    tracer.end(accepted)
+    tracer.end(round_)
+    reply = tracer.start_span("msg.Reply", pid="c0", kind="message",
+                              parent=accepted, attrs={"src": "r0", "dst": "c0"})
+    clock[0] = t = 2 * M + E + 2 * m
+    tracer.end(reply)
+    tracer.end(root)
+    return root
+
+
+class TestCriticalPath:
+    def test_write_chain_attribution(self):
+        tracer, clock = make_tracer()
+        M, E, m = 0.4, 0.3, 0.3
+        root = build_write_chain(tracer, clock, M, E, m)
+        path = critical_path(tracer.store, root)
+        assert path is not None and path.complete
+        assert path.total == pytest.approx(2 * M + E + 2 * m)
+        assert path.component("M") == pytest.approx(2 * M)
+        assert path.component("E") == pytest.approx(E)
+        assert path.component("m") == pytest.approx(2 * m)
+        assert path.component("other") == pytest.approx(0.0)
+
+    def test_classify(self):
+        msg = Span(span_id=1, trace_id=1, parent_id=None, name="msg", kind="message",
+                   pid="r0", start=0.0, attrs={"src": "c0", "dst": "r0"})
+        assert classify_span(msg, client="c0") == "M"
+        assert classify_span(msg, client="c9") == "m"
+        ex = Span(span_id=2, trace_id=1, parent_id=None, name="execute",
+                  kind="execute", pid="r0", start=0.0)
+        assert classify_span(ex, client="c0") == "E"
+
+    def test_no_descendants_means_incomplete(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("request:c0#0", pid="c0", kind="request")
+        clock[0] = 1.0
+        tracer.end(root)
+        path = critical_path(tracer.store, root)
+        assert path is not None and not path.complete
+        assert path.component("other") == pytest.approx(1.0)
+
+    def test_unfinished_roots_are_skipped(self):
+        tracer, _ = make_tracer()
+        tracer.start_trace("request:c0#0", pid="c0", kind="request")
+        assert analyze_requests(tracer.store) == []
+
+    def test_summaries_group_by_kind(self):
+        tracer, clock = make_tracer()
+        root = build_write_chain(tracer, clock)
+        paths = analyze_requests(tracer.store)
+        summary = summarize_paths(paths)["write"]
+        assert summary.n == 1 and summary.incomplete == 0
+        assert summary.mean_total == pytest.approx(root.end - root.start)
+
+
+# ------------------------------------------------------------- chrome export
+class TestChromeExport:
+    def test_export_validates(self, tmp_path):
+        tracer, clock = make_tracer()
+        build_write_chain(tracer, clock)
+        path = export_chrome(tracer.store, tmp_path / "trace.json")
+        counts = validate_chrome_trace(path)
+        assert counts["events"] > 0
+        assert counts["async_spans"] == 4  # the four message hops
+        assert counts["duration_spans"] >= 3  # request, execute, round
+
+    def test_open_spans_closed_at_horizon(self):
+        tracer, clock = make_tracer()
+        root = tracer.start_trace("req", pid="c0", kind="request")
+        tracer.start_span("stuck", pid="r0", kind="round", parent=root)
+        clock[0] = 1.0
+        tracer.end(root)
+        events = chrome_events(tracer.store, horizon=2.0)
+        validate_chrome_trace({"traceEvents": events})
+        opens = [e for e in events if e.get("args", {}).get("open")]
+        assert len(opens) == 1 and opens[0]["name"] == "stuck"
+
+    def test_partial_overlap_demoted_to_async(self):
+        # Two same-track spans that partially overlap cannot nest as B/E.
+        spans = [
+            Span(span_id=1, trace_id=1, parent_id=None, name="a", kind="round",
+                 pid="r0", start=0.0, end=0.5),
+            Span(span_id=2, trace_id=1, parent_id=1, name="b", kind="round",
+                 pid="r0", start=0.3, end=0.8),
+        ]
+        store = SpanStore()
+        for span in spans:
+            store.add(span)
+        events = chrome_events(store)
+        validate_chrome_trace({"traceEvents": events})
+        assert any(e["ph"] == "b" and e["name"] == "b" for e in events)
+
+    def test_rejects_unbalanced_duration_events(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 0.0},
+        ]}
+        with pytest.raises(ValueError, match="unmatched 'B'"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_mismatched_end_name(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 0.0},
+            {"name": "z", "ph": "E", "pid": 1, "tid": 1, "ts": 1.0},
+        ]}
+        with pytest.raises(ValueError, match="is open on"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_decreasing_timestamps(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "b", "cat": "k", "id": "0x1", "pid": 1, "ts": 5.0},
+            {"name": "a", "ph": "e", "cat": "k", "id": "0x1", "pid": 1, "ts": 1.0},
+        ]}
+        with pytest.raises(ValueError, match="decreases"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_dangling_async(self):
+        bad = {"traceEvents": [
+            {"name": "a", "ph": "b", "cat": "k", "id": "0x1", "pid": 1, "ts": 0.0},
+        ]}
+        with pytest.raises(ValueError, match="unmatched async"):
+            validate_chrome_trace(bad)
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_chrome_trace(path)
