@@ -1,0 +1,46 @@
+"""Chaos engine: randomized fault schedules, safety invariants, shrinking.
+
+See :mod:`repro.chaos.schedule` (seeded nemesis timelines),
+:mod:`repro.chaos.invariants` (the safety/liveness properties checked),
+:mod:`repro.chaos.runner` (one trial end to end),
+:mod:`repro.chaos.shrink` (failing-schedule minimization) and
+:mod:`repro.chaos.report` (deterministic summaries). Driven by
+``repro chaos`` (:mod:`repro.cli`) and ``docs/robustness.md``.
+"""
+
+from repro.chaos.invariants import INVARIANTS, Violation, check_cluster
+from repro.chaos.report import dump_summary, render_report, to_summary
+from repro.chaos.runner import (
+    MUTATIONS,
+    PROTOCOLS,
+    ChaosOptions,
+    ChaosResult,
+    run_chaos,
+    run_with_schedule,
+)
+from repro.chaos.schedule import (
+    NemesisEvent,
+    NemesisSchedule,
+    generate_schedule,
+)
+from repro.chaos.shrink import ShrinkOutcome, shrink
+
+__all__ = [
+    "INVARIANTS",
+    "MUTATIONS",
+    "PROTOCOLS",
+    "ChaosOptions",
+    "ChaosResult",
+    "NemesisEvent",
+    "NemesisSchedule",
+    "ShrinkOutcome",
+    "Violation",
+    "check_cluster",
+    "dump_summary",
+    "generate_schedule",
+    "render_report",
+    "run_chaos",
+    "run_with_schedule",
+    "shrink",
+    "to_summary",
+]

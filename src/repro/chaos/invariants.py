@@ -1,0 +1,329 @@
+"""Safety and liveness invariants checked after (and during) a chaos run.
+
+All checks are *observational*: they read replica snapshots
+(:meth:`repro.core.replica.Replica.invariant_snapshot`) and client request
+records, and never mutate protocol state. Each violated property yields a
+:class:`Violation` naming the invariant and carrying enough detail to
+reproduce and debug it.
+
+Invariants (the paper's correctness claims under the crash-recovery model
+of §3.1, plus the X-/T-Paxos extensions of §3.4–3.6):
+
+* ``log_agreement`` — no two replicas choose different values for the same
+  consensus instance (agreement, the core Paxos safety property).
+* ``at_most_once`` — no request id occupies more than one chosen instance
+  on any replica (the ExecutedTable + dedup machinery works).
+* ``prefix_consistency`` — each replica's applied/checkpoint/compaction
+  bookkeeping is internally consistent: ``compacted_to <= checkpoint <=
+  applied <= frontier``.
+* ``state_convergence`` — alive replicas that applied the same prefix have
+  byte-identical service state fingerprints (deterministic re-execution of
+  the chosen sequence; the paper's replicated-state-machine guarantee).
+* ``txn_atomicity`` — every chosen T-Paxos transaction bundle is whole:
+  one txn id, ops numbered ``0..n-1`` in order, terminated by a
+  ``TXN_COMMIT`` whose ``txn_seq`` equals the op count (no torn suffix
+  committed after a leader switch, §3.6).
+* ``linearizability`` — reads and writes of the designated register form a
+  linearizable history (covers X-Paxos read freshness, §3.4: a read "must
+  reflect the latest update").
+* ``liveness`` — once faults stop and a majority is stable, every client
+  finishes its workload before the grace deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.analysis.linearizability import check_register, history_from_clients
+from repro.types import RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.harness import Cluster
+
+#: Names of every invariant this module can report, in check order.
+INVARIANTS = (
+    "log_agreement",
+    "at_most_once",
+    "prefix_consistency",
+    "state_convergence",
+    "txn_atomicity",
+    "linearizability",
+    "liveness",
+    "runtime",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant violation with human-readable detail."""
+
+    invariant: str
+    detail: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "data": {k: self.data[k] for k in sorted(self.data)},
+        }
+
+
+# ------------------------------------------------------------------ per-check
+def check_log_agreement(snapshots: Sequence[Mapping[str, Any]]) -> list[Violation]:
+    """No two replicas may choose different values for the same instance.
+
+    Logs are stable storage, so crashed replicas participate too."""
+    violations: list[Violation] = []
+    by_instance: dict[int, dict[str, Any]] = {}
+    for snap in snapshots:
+        for instance, proposal in snap["chosen"]:
+            seen = by_instance.setdefault(instance, {})
+            seen[str(proposal.primary_rid)] = seen.get(
+                str(proposal.primary_rid), []
+            ) + [snap["pid"]]
+    for instance in sorted(by_instance):
+        rids = by_instance[instance]
+        if len(rids) > 1:
+            detail = "; ".join(
+                f"{rid} on {','.join(pids)}" for rid, pids in sorted(rids.items())
+            )
+            violations.append(
+                Violation(
+                    "log_agreement",
+                    f"instance {instance} chosen with different values: {detail}",
+                    data={"instance": instance, "values": dict(sorted(rids.items()))},
+                )
+            )
+    return violations
+
+
+def check_at_most_once(snapshots: Sequence[Mapping[str, Any]]) -> list[Violation]:
+    """No request id may occupy more than one chosen instance anywhere."""
+    violations: list[Violation] = []
+    # rid -> {instance, ...} across every replica's retained chosen log.
+    instances_by_rid: dict[str, set[int]] = {}
+    for snap in snapshots:
+        for instance, proposal in snap["chosen"]:
+            for request in proposal.requests:
+                instances_by_rid.setdefault(str(request.rid), set()).add(instance)
+    for rid in sorted(instances_by_rid):
+        instances = instances_by_rid[rid]
+        if len(instances) > 1:
+            violations.append(
+                Violation(
+                    "at_most_once",
+                    f"request {rid} committed in {len(instances)} instances: "
+                    f"{sorted(instances)}",
+                    data={"rid": rid, "instances": sorted(instances)},
+                )
+            )
+    return violations
+
+
+def check_prefix_consistency(
+    snapshots: Sequence[Mapping[str, Any]],
+) -> list[Violation]:
+    """Per-replica bookkeeping: compacted <= checkpoint <= applied <= frontier,
+    and no retained chosen entry at or below the compaction point."""
+    violations: list[Violation] = []
+    for snap in snapshots:
+        pid = snap["pid"]
+        compacted = snap["compacted_to"]
+        checkpoint = snap["checkpoint_instance"]
+        applied = snap["applied"]
+        frontier = snap["frontier"]
+        if not compacted <= applied <= frontier:
+            violations.append(
+                Violation(
+                    "prefix_consistency",
+                    f"{pid}: compacted_to={compacted} applied={applied} "
+                    f"frontier={frontier} out of order",
+                    data={"pid": pid, "compacted_to": compacted,
+                          "applied": applied, "frontier": frontier},
+                )
+            )
+        if checkpoint > applied:
+            violations.append(
+                Violation(
+                    "prefix_consistency",
+                    f"{pid}: checkpoint at {checkpoint} ahead of applied={applied}",
+                    data={"pid": pid, "checkpoint": checkpoint, "applied": applied},
+                )
+            )
+        stale = [i for i, _ in snap["chosen"] if i <= compacted]
+        if stale:
+            violations.append(
+                Violation(
+                    "prefix_consistency",
+                    f"{pid}: retained chosen entries at/below compaction point "
+                    f"{compacted}: {stale}",
+                    data={"pid": pid, "compacted_to": compacted, "stale": stale},
+                )
+            )
+    return violations
+
+
+def check_state_convergence(
+    snapshots: Sequence[Mapping[str, Any]],
+) -> list[Violation]:
+    """Alive replicas that applied the same prefix must have identical
+    service-state fingerprints (applied state is volatile, so crashed
+    replicas are excluded until they recover)."""
+    violations: list[Violation] = []
+    by_applied: dict[int, dict[str, list[str]]] = {}
+    for snap in snapshots:
+        if not snap["alive"]:
+            continue
+        fingerprints = by_applied.setdefault(snap["applied"], {})
+        fingerprints.setdefault(str(snap["fingerprint"]), []).append(snap["pid"])
+    for applied in sorted(by_applied):
+        fingerprints = by_applied[applied]
+        if len(fingerprints) > 1:
+            detail = "; ".join(
+                f"{fp[:12]}… on {','.join(pids)}"
+                for fp, pids in sorted(fingerprints.items())
+            )
+            violations.append(
+                Violation(
+                    "state_convergence",
+                    f"replicas at applied={applied} diverge: {detail}",
+                    data={"applied": applied,
+                          "fingerprints": {fp: pids for fp, pids
+                                           in sorted(fingerprints.items())}},
+                )
+            )
+    return violations
+
+
+def check_txn_atomicity(snapshots: Sequence[Mapping[str, Any]]) -> list[Violation]:
+    """Every chosen transactional proposal must be a whole transaction."""
+    violations: list[Violation] = []
+    reported: set[tuple[str, int]] = set()
+    for snap in snapshots:
+        for instance, proposal in snap["chosen"]:
+            requests = proposal.requests
+            if not any(r.txn is not None for r in requests):
+                continue
+            key = (snap["pid"], instance)
+            problem = _torn_txn(requests)
+            if problem and key not in reported:
+                reported.add(key)
+                violations.append(
+                    Violation(
+                        "txn_atomicity",
+                        f"{snap['pid']} instance {instance}: {problem}",
+                        data={"pid": snap["pid"], "instance": instance,
+                              "rids": [str(r.rid) for r in requests]},
+                    )
+                )
+    return violations
+
+
+def _torn_txn(requests: Sequence[Any]) -> str | None:
+    """Why this chosen request bundle is not a whole transaction, or None."""
+    txn_ids = {r.txn for r in requests}
+    if len(txn_ids) != 1 or None in txn_ids:
+        return f"mixed transaction ids {sorted(str(t) for t in txn_ids)}"
+    commit = requests[-1]
+    if commit.kind is not RequestKind.TXN_COMMIT:
+        return f"bundle does not end in TXN_COMMIT (ends {commit.kind.value})"
+    ops = requests[:-1]
+    if any(r.kind is not RequestKind.TXN_OP for r in ops):
+        return "non-TXN_OP request inside a transaction bundle"
+    if commit.txn_seq != len(ops):
+        return (
+            f"torn suffix: commit claims {commit.txn_seq} ops, "
+            f"bundle carries {len(ops)}"
+        )
+    if [r.txn_seq for r in ops] != list(range(len(ops))):
+        return f"ops out of order: {[r.txn_seq for r in ops]}"
+    return None
+
+
+def check_linearizability(
+    clients: Iterable, key: Any, initial: Any = None
+) -> list[Violation]:
+    """The designated register's completed reads/writes must linearize.
+
+    Subsumes X-Paxos read freshness: a stale confirmed read shows up as a
+    read that cannot be ordered after the write it missed."""
+    history = history_from_clients(clients, key)
+    if check_register(history, initial=initial):
+        return []
+    ops = sorted(history, key=lambda op: (op.invoked, op.completed))
+    return [
+        Violation(
+            "linearizability",
+            f"history of {len(history)} ops on register {key!r} has no legal "
+            f"linearization",
+            data={
+                "key": key,
+                "ops": [
+                    f"{op.kind}({op.value!r}) @ [{op.invoked:.4f}, "
+                    f"{op.completed:.4f}]"
+                    for op in ops
+                ],
+            },
+        )
+    ]
+
+
+def check_liveness(clients: Iterable, deadline: float) -> list[Violation]:
+    """After faults stop, every client must finish by ``deadline``."""
+    violations: list[Violation] = []
+    for client in clients:
+        if not client.done:
+            pending = sum(
+                1
+                for record in client.request_records()
+                if record.completed_at is None
+            )
+            violations.append(
+                Violation(
+                    "liveness",
+                    f"client {client.pid} not done by t={deadline:g}s "
+                    f"({client.completed_requests} requests completed, "
+                    f"{pending} in flight)",
+                    data={"pid": client.pid, "deadline": deadline,
+                          "completed": client.completed_requests},
+                )
+            )
+    return violations
+
+
+# --------------------------------------------------------------------- driver
+def check_cluster(
+    cluster: "Cluster",
+    register_key: Any = None,
+    register_initial: Any = None,
+    liveness_deadline: float | None = None,
+) -> list[Violation]:
+    """Run every applicable invariant against ``cluster``'s current state.
+
+    ``register_key`` enables the linearizability check for that key;
+    ``liveness_deadline`` enables the liveness check (the caller decides
+    when the post-heal grace period has expired).
+    """
+    snapshots = [
+        replica.invariant_snapshot() for replica in cluster.replicas.values()
+    ]
+    violations: list[Violation] = []
+    violations.extend(check_log_agreement(snapshots))
+    violations.extend(check_at_most_once(snapshots))
+    violations.extend(check_prefix_consistency(snapshots))
+    violations.extend(check_state_convergence(snapshots))
+    violations.extend(check_txn_atomicity(snapshots))
+    if register_key is not None:
+        violations.extend(
+            check_linearizability(
+                cluster.clients, register_key, initial=register_initial
+            )
+        )
+    if liveness_deadline is not None:
+        violations.extend(check_liveness(cluster.clients, liveness_deadline))
+    return violations

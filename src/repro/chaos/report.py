@@ -1,0 +1,160 @@
+"""Chaos run reporting: deterministic summaries and violation dossiers.
+
+Two outputs per sweep:
+
+* a **machine-readable summary** (``to_summary`` → JSON): one record per
+  seed plus aggregate counts. Strictly deterministic — same seeds, same
+  code, byte-identical bytes. No host wall-clock time appears anywhere.
+* a **human report** (``render_report``): the per-seed table, and for each
+  violating seed a dossier with the invariant details, the fault timeline,
+  the runnable scripted repro, and (for traced runs) span waterfalls of
+  the slowest requests from the PR-2 causal tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.runner import ChaosResult
+    from repro.chaos.shrink import ShrinkOutcome
+
+
+# ------------------------------------------------------------------- summary
+def to_summary(
+    results: Sequence["ChaosResult"],
+    shrink_outcomes: Iterable["ShrinkOutcome"] = (),
+) -> dict[str, Any]:
+    """Aggregate a seed sweep into one JSON-ready mapping (deterministic)."""
+    records = [result.to_dict() for result in results]
+    violating = [r for r in records if not r["ok"]]
+    by_invariant: dict[str, int] = {}
+    for record in violating:
+        for violation in record["violations"]:
+            name = violation["invariant"]
+            by_invariant[name] = by_invariant.get(name, 0) + 1
+    summary: dict[str, Any] = {
+        "seeds": len(records),
+        "ok": len(records) - len(violating),
+        "violating": len(violating),
+        "violations_by_invariant": {
+            k: by_invariant[k] for k in sorted(by_invariant)
+        },
+        "results": records,
+    }
+    shrunk = [
+        {
+            "seed": outcome.schedule.seed,
+            "invariant": outcome.invariant,
+            "events": outcome.events,
+            "trials": outcome.trials,
+            "schedule": outcome.schedule.to_dict(),
+        }
+        for outcome in shrink_outcomes
+    ]
+    if shrunk:
+        summary["shrunk"] = shrunk
+    return summary
+
+
+def dump_summary(summary: dict[str, Any]) -> str:
+    """Canonical JSON encoding (sorted keys, fixed separators): the same
+    sweep always produces byte-identical bytes."""
+    return json.dumps(summary, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# -------------------------------------------------------------- human report
+def _result_row(result: "ChaosResult") -> str:
+    status = "ok" if result.ok else ",".join(
+        sorted({v.invariant for v in result.violations})
+    )
+    return (
+        f"{result.seed:>6}  {result.options.protocol:<7} "
+        f"{len(result.schedule):>6}  {result.completed_requests:>9}  "
+        f"{result.sim_time:>8.3f}  {status}"
+    )
+
+
+def _waterfalls(result: "ChaosResult", limit: int = 3) -> str:
+    """Span waterfalls of the slowest finished requests in a traced run."""
+    cluster = result.cluster
+    if cluster is None or not cluster.tracer.enabled:
+        return ""
+    store = cluster.tracer.store
+    roots = [s for s in store.roots() if s.kind == "request" and s.finished]
+    roots.sort(key=lambda s: s.duration, reverse=True)
+    sections = []
+    for root in roots[:limit]:
+        tree = store.tree(root.trace_id)
+        sections.append(
+            f"--- slowest request {root.name} "
+            f"({root.duration * 1e3:.2f} ms) ---\n"
+            + tree.render_waterfall()
+        )
+    return "\n".join(sections)
+
+
+def render_violation(result: "ChaosResult") -> str:
+    """Full dossier for one violating seed."""
+    lines = [
+        f"seed {result.seed} ({result.options.protocol}): "
+        f"{len(result.violations)} violation(s)",
+    ]
+    for violation in result.violations:
+        lines.append(f"  * {violation}")
+        for key in sorted(violation.data):
+            lines.append(f"      {key}: {violation.data[key]}")
+    lines.append("")
+    lines.append(result.schedule.describe())
+    lines.append("")
+    lines.append("runnable repro script:")
+    lines.extend(
+        f"  {line}" for line in result.schedule.to_script().splitlines()
+    )
+    waterfalls = _waterfalls(result)
+    if waterfalls:
+        lines.append("")
+        lines.append(waterfalls)
+    return "\n".join(lines)
+
+
+def render_report(
+    results: Sequence["ChaosResult"],
+    shrink_outcomes: Sequence["ShrinkOutcome"] = (),
+) -> str:
+    """The per-seed table plus a dossier per violating seed."""
+    lines = [
+        "  seed  proto    events   requests  sim_time  status",
+        "  ----  -----    ------   --------  --------  ------",
+    ]
+    lines.extend(_result_row(result) for result in results)
+    failing = [r for r in results if not r.ok]
+    lines.append("")
+    lines.append(
+        f"{len(results)} seed(s): {len(results) - len(failing)} ok, "
+        f"{len(failing)} violating"
+    )
+    for result in failing:
+        lines.append("")
+        lines.append("=" * 70)
+        lines.append(render_violation(result))
+    for outcome in shrink_outcomes:
+        lines.append("")
+        lines.append("=" * 70)
+        lines.append(
+            f"shrunk seed {outcome.schedule.seed} "
+            f"({outcome.invariant}): {outcome.events} event(s) "
+            f"after {outcome.trials} trial(s)"
+        )
+        for step in outcome.history:
+            lines.append(f"  {step}")
+        lines.append("")
+        lines.append(outcome.schedule.describe())
+        lines.append("")
+        lines.append("runnable repro script:")
+        lines.extend(
+            f"  {line}"
+            for line in outcome.schedule.to_script().splitlines()
+        )
+    return "\n".join(lines) + "\n"

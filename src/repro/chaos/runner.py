@@ -1,0 +1,291 @@
+"""Run one chaos trial: cluster + workload + nemesis schedule + invariants.
+
+A trial builds a manual-elector cluster on the ``flat`` profile (constant
+1 ms links, free CPUs — deterministic timing makes found schedules easy to
+reason about), compiles a :class:`~repro.chaos.schedule.NemesisSchedule`
+onto it, runs past the schedule's horizon plus a liveness grace period,
+and then evaluates every invariant in :mod:`repro.chaos.invariants`.
+
+Runtime protocol errors (e.g. :class:`ReplicaLog` detecting an instance
+chosen twice with different values) abort the simulation early and are
+reported as a ``runtime`` violation alongside the post-mortem invariant
+sweep — the simulator's own tripwires and the observational checks
+corroborate each other.
+
+``MUTATIONS`` holds deliberate, test-only protocol bugs used to validate
+that the invariant layer actually catches real safety violations (and that
+the shrinker can minimize the schedules that expose them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.chaos.invariants import Violation, check_cluster
+from repro.chaos.schedule import NemesisSchedule, generate_schedule
+from repro.client.workload import Step, txn_steps
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.core.config import ReplicaConfig
+from repro.errors import ConfigError, ReproError, SimulationError
+from repro.net.profiles import get_profile
+from repro.services.kvstore import KVStoreService
+from repro.types import RequestKind
+
+#: The shared register every workload hammers; the linearizability and
+#: convergence checks key off it.
+REGISTER_KEY = "x"
+
+PROTOCOLS = ("basic", "xpaxos", "tpaxos")
+
+
+@dataclass(frozen=True)
+class ChaosOptions:
+    """Knobs for one chaos trial (shared across a seed sweep)."""
+
+    protocol: str = "basic"
+    n_replicas: int = 3
+    n_clients: int = 2
+    requests_per_client: int = 12
+    horizon: float = 2.0
+    #: Extra simulated seconds after the final heal for clients to finish.
+    liveness_grace: float = 8.0
+    intensity: float = 1.0
+    allow_majority_loss: bool = False
+    tracing: bool = False
+    #: Name of a deliberate protocol bug from :data:`MUTATIONS`, or None.
+    mutation: str | None = None
+    profile: str = "flat"
+    client_timeout: float = 0.05
+    #: Tight idle-transaction expiry so zombie transactions (abandoned
+    #: during partial view changes) are swept before the final invariant
+    #: check; the post-run drain must outlast ``1.5 * txn_timeout``.
+    txn_timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}"
+            )
+        if self.mutation is not None and self.mutation not in MUTATIONS:
+            raise ConfigError(
+                f"unknown mutation {self.mutation!r}; known: {sorted(MUTATIONS)}"
+            )
+
+    @property
+    def deadline(self) -> float:
+        return self.horizon + self.liveness_grace
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one trial. ``ok`` iff no invariant was violated."""
+
+    seed: int
+    options: ChaosOptions
+    schedule: NemesisSchedule
+    violations: list[Violation]
+    sim_time: float
+    completed_requests: int
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Kept only when the caller asked for it (waterfall rendering, tests).
+    cluster: Cluster | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic, JSON-ready summary (no host wall-time anywhere)."""
+        return {
+            "seed": self.seed,
+            "protocol": self.options.protocol,
+            "ok": self.ok,
+            "events": len(self.schedule),
+            "sim_time": round(self.sim_time, 6),
+            "completed_requests": self.completed_requests,
+            "violations": [v.to_dict() for v in self.violations],
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+        }
+
+
+# ------------------------------------------------------------------ workloads
+def build_workload(options: ChaosOptions, seed: int) -> list[list[Step]]:
+    """Seeded per-client step lists over the shared register.
+
+    Writes carry globally unique values ``"<pid>:<i>"`` so the
+    linearizability checker can tell every write apart. The basic and
+    X-Paxos protocols mix reads and writes (reads take the X-Paxos path
+    only when the cluster enables it); T-Paxos wraps ops in transactions.
+    Seeded think-time gaps pace each client so its traffic spans the whole
+    fault horizon — a fault injected at any point lands on live requests.
+    """
+    mean_gap = options.horizon / max(options.requests_per_client, 1)
+    all_steps: list[list[Step]] = []
+    for index in range(options.n_clients):
+        pid = f"c{index}"
+        rng = random.Random(f"{seed}/workload/{pid}")
+
+        def gap() -> float:
+            return round(rng.uniform(0.2, 1.2) * mean_gap, 4)
+
+        steps: list[Step] = []
+        for i in range(options.requests_per_client):
+            if options.protocol == "tpaxos" and rng.random() < 0.7:
+                # Transactions work a per-client key: chaos probes protocol
+                # faults, not 2PL lock contention (two clients hammering one
+                # key just abort each other into a livelock).
+                ops = [
+                    ("put", f"t:{pid}", f"{pid}:{i}:a"),
+                    ("put", f"t:{pid}", f"{pid}:{i}:b"),
+                ]
+                steps.append(dataclasses.replace(txn_steps(1, ops)[0], gap=gap()))
+            elif rng.random() < 0.4:
+                steps.append(
+                    Step(
+                        requests=((RequestKind.READ, ("get", REGISTER_KEY)),),
+                        label="read", gap=gap(),
+                    )
+                )
+            else:
+                put = ("put", REGISTER_KEY, f"{pid}:{i}")
+                steps.append(
+                    Step(
+                        requests=((RequestKind.WRITE, put),),
+                        label="write", gap=gap(),
+                    )
+                )
+        all_steps.append(steps)
+    return all_steps
+
+
+# ------------------------------------------------------------------ mutations
+class _MinorityAcceptConfig(ReplicaConfig):
+    """Deliberately broken quorum arithmetic: *one* accept "is" a majority.
+
+    A leader commits after its own accept alone, so a partitioned minority
+    leader happily chooses values a concurrent majority never saw —
+    classic split-brain. Test-only; exists so the chaos suite can prove the
+    invariant layer catches real agreement violations."""
+
+    @property
+    def majority(self) -> int:  # type: ignore[override]
+        return 1
+
+
+def _mutate_minority_accept(cluster: Cluster) -> None:
+    fields = {
+        f.name: getattr(cluster.config, f.name)
+        for f in dataclasses.fields(ReplicaConfig)
+    }
+    broken = _MinorityAcceptConfig(**fields)
+    for replica in cluster.replicas.values():
+        replica.config = broken
+
+
+#: name -> callable(cluster) applied after construction, before start.
+MUTATIONS: Mapping[str, Callable[[Cluster], None]] = {
+    "minority-accept": _mutate_minority_accept,
+}
+
+
+# -------------------------------------------------------------------- running
+def build_cluster(options: ChaosOptions, seed: int) -> Cluster:
+    """Construct (but do not start) the cluster for one trial."""
+    spec = ClusterSpec(
+        profile=get_profile(options.profile),
+        n_replicas=options.n_replicas,
+        seed=seed,
+        xpaxos_reads=options.protocol == "xpaxos",
+        tpaxos=options.protocol == "tpaxos",
+        client_timeout=options.client_timeout,
+        txn_timeout=options.txn_timeout,
+        retry_aborted=options.protocol == "tpaxos",
+        elector="manual",
+        tracing=options.tracing,
+        connection_scaling=False,
+    )
+    cluster = Cluster(
+        spec, build_workload(options, seed), service_factory=KVStoreService
+    )
+    if options.mutation is not None:
+        MUTATIONS[options.mutation](cluster)
+    return cluster
+
+
+def run_with_schedule(
+    schedule: NemesisSchedule,
+    options: ChaosOptions,
+    keep_cluster: bool = False,
+) -> ChaosResult:
+    """Execute one trial under an explicit (possibly shrunk) schedule."""
+    cluster = build_cluster(options, schedule.seed)
+    cluster.start()
+    schedule.compile_onto(cluster)
+
+    runtime_violations: list[Violation] = []
+    try:
+        cluster.run(max_time=options.deadline)
+        # Long enough for Chosen broadcasts to land everywhere AND for the
+        # idle-transaction sweep (worst case 1.5 * txn_timeout) to clear
+        # zombies before the convergence check.
+        cluster.drain(grace=max(0.5, 1.5 * options.txn_timeout + 0.2))
+    except SimulationError:
+        # Clients still unfinished at the deadline; the liveness check
+        # below turns this into a proper violation with per-client detail.
+        pass
+    except ReproError as exc:
+        # A protocol tripwire fired mid-run (e.g. conflicting chosen
+        # values). Record it and post-mortem the frozen state.
+        runtime_violations.append(
+            Violation(
+                "runtime",
+                f"{type(exc).__name__}: {exc}",
+                data={"exception": type(exc).__name__},
+            )
+        )
+
+    violations = runtime_violations + check_cluster(
+        cluster,
+        register_key=REGISTER_KEY,
+        register_initial=None,
+        liveness_deadline=options.deadline,
+    )
+    # A runtime abort freezes clients mid-flight; the interesting signal is
+    # the tripwire itself, not the liveness fallout it causes.
+    if runtime_violations:
+        violations = [v for v in violations if v.invariant != "liveness"]
+
+    completed = sum(c.completed_requests for c in cluster.clients)
+    counters = {
+        name: value
+        for name, value in cluster.metrics.counters().items()
+        if name.startswith(("fault.", "client.retransmit", "net.drop", "net.dup"))
+    }
+    return ChaosResult(
+        seed=schedule.seed,
+        options=options,
+        schedule=schedule,
+        violations=violations,
+        sim_time=cluster.kernel.now,
+        completed_requests=completed,
+        counters=counters,
+        cluster=cluster if keep_cluster else None,
+    )
+
+
+def run_chaos(
+    seed: int, options: ChaosOptions, keep_cluster: bool = False
+) -> ChaosResult:
+    """Generate the seed's nemesis schedule and run the trial."""
+    cluster_pids = tuple(f"r{i}" for i in range(options.n_replicas))
+    schedule = generate_schedule(
+        seed,
+        cluster_pids,
+        horizon=options.horizon,
+        intensity=options.intensity,
+        allow_majority_loss=options.allow_majority_loss,
+    )
+    return run_with_schedule(schedule, options, keep_cluster=keep_cluster)

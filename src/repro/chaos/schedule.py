@@ -1,0 +1,422 @@
+"""Randomized nemesis schedules: seeded fault timelines.
+
+A :class:`NemesisSchedule` is a flat, serializable list of fault events
+sampled from a single seed. The generator walks virtual time forward,
+keeping a model of which replicas are down and how the replica set is
+partitioned, so that the sampled timeline is *coherent*: it never switches
+leadership to a crashed replica, it pairs every crash with a recovery and
+every partition with a heal, and (unless ``allow_majority_loss``) it keeps
+a majority of replicas alive at all times. At the horizon it emits a final
+heal + recover-all + leader-switch so that liveness-after-heal is a fair
+check: once a majority is stable, clients must finish.
+
+Schedules compile onto the scripted :class:`repro.cluster.faults.
+FaultSchedule` API, so a generated (or shrunk) schedule can always be
+replayed as an ordinary scripted scenario — :meth:`NemesisSchedule.
+to_script` emits exactly that code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.errors import ConfigError
+from repro.types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.faults import FaultSchedule
+    from repro.cluster.harness import Cluster
+
+#: Event kinds a schedule may contain.
+EVENT_KINDS = (
+    "crash",
+    "recover",
+    "partition",
+    "heal",
+    "leader",
+    "loss_burst",
+    "dup_burst",
+    "latency_spike",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class NemesisEvent:
+    """One fault event at an absolute simulated time.
+
+    * ``crash`` / ``recover`` — ``pids`` holds the single target.
+    * ``partition`` — ``groups`` holds the replica grouping; ``heal`` clears.
+    * ``leader`` — ``pids`` holds the new leader (manual elector flip);
+      a non-empty ``scope`` limits the view change to those replicas
+      (the partitioned-away rest keeps its old view).
+    * ``loss_burst`` / ``dup_burst`` — ``value`` is the probability,
+      ``duration`` the burst length.
+    * ``latency_spike`` — ``value`` is the extra one-way latency in seconds.
+    """
+
+    at: float
+    kind: str
+    pids: tuple[ProcessId, ...] = ()
+    groups: tuple[tuple[ProcessId, ...], ...] = ()
+    value: float = 0.0
+    duration: float = 0.0
+    scope: tuple[ProcessId, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigError(f"unknown nemesis event kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "leader":
+            where = f" on {','.join(self.scope)}" if self.scope else ""
+            return f"{self.at:.4f}s leader {self.pids[0]}{where}"
+        if self.kind in ("crash", "recover"):
+            return f"{self.at:.4f}s {self.kind} {self.pids[0]}"
+        if self.kind == "partition":
+            sides = " | ".join(",".join(g) for g in self.groups)
+            return f"{self.at:.4f}s partition [{sides}]"
+        if self.kind == "heal":
+            return f"{self.at:.4f}s heal"
+        return (
+            f"{self.at:.4f}s {self.kind} value={self.value:g} "
+            f"duration={self.duration:g}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"at": self.at, "kind": self.kind}
+        if self.pids:
+            out["pids"] = list(self.pids)
+        if self.groups:
+            out["groups"] = [list(g) for g in self.groups]
+        if self.value:
+            out["value"] = self.value
+        if self.duration:
+            out["duration"] = self.duration
+        if self.scope:
+            out["scope"] = list(self.scope)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NemesisEvent":
+        return cls(
+            at=float(data["at"]),
+            kind=str(data["kind"]),
+            pids=tuple(data.get("pids", ())),
+            groups=tuple(tuple(g) for g in data.get("groups", ())),
+            value=float(data.get("value", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            scope=tuple(data.get("scope", ())),
+        )
+
+
+@dataclass(frozen=True)
+class NemesisSchedule:
+    """A seeded fault timeline, ready to compile onto a cluster."""
+
+    seed: int
+    horizon: float
+    events: tuple[NemesisEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -------------------------------------------------------------- compiling
+    def compile_onto(self, cluster: "Cluster") -> "FaultSchedule":
+        """Apply every event to ``cluster`` via its :class:`FaultSchedule`."""
+        from repro.cluster.faults import FaultSchedule
+
+        fs = FaultSchedule(cluster)
+        for event in self.events:
+            if event.kind == "crash":
+                fs.crash(event.pids[0], at=event.at)
+            elif event.kind == "recover":
+                fs.recover(event.pids[0], at=event.at)
+            elif event.kind == "partition":
+                fs.partition([list(g) for g in event.groups], at=event.at)
+            elif event.kind == "heal":
+                fs.heal(at=event.at)
+            elif event.kind == "leader":
+                fs.switch_leader(
+                    event.pids[0], at=event.at, pids=event.scope or None
+                )
+            elif event.kind == "loss_burst":
+                fs.loss_burst(event.value, at=event.at, duration=event.duration)
+            elif event.kind == "dup_burst":
+                fs.dup_burst(event.value, at=event.at, duration=event.duration)
+            elif event.kind == "latency_spike":
+                fs.latency_spike(event.value, at=event.at, duration=event.duration)
+            else:  # pragma: no cover - EVENT_KINDS guards this
+                raise ConfigError(f"unknown nemesis event kind {event.kind!r}")
+        return fs
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NemesisSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            horizon=float(data["horizon"]),
+            events=tuple(NemesisEvent.from_dict(e) for e in data["events"]),
+        )
+
+    def with_events(self, events: Iterable[NemesisEvent]) -> "NemesisSchedule":
+        return replace(self, events=tuple(events))
+
+    def describe(self) -> str:
+        lines = [f"nemesis schedule (seed={self.seed}, horizon={self.horizon:g}s, "
+                 f"{len(self.events)} events)"]
+        lines.extend(f"  {event.describe()}" for event in self.events)
+        return "\n".join(lines)
+
+    def to_script(self) -> str:
+        """Emit this schedule as a runnable scripted scenario (the exact
+        :class:`FaultSchedule` calls a hand-written repro would make)."""
+        lines = [
+            "# Scripted repro of a nemesis schedule "
+            f"(seed={self.seed}, horizon={self.horizon:g}s).",
+            "# Requires a Cluster built with elector='manual'.",
+            "from repro.cluster.faults import FaultSchedule",
+            "",
+            "schedule = FaultSchedule(cluster)",
+        ]
+        for event in self.events:
+            if event.kind == "crash":
+                lines.append(f"schedule.crash({event.pids[0]!r}, at={event.at})")
+            elif event.kind == "recover":
+                lines.append(f"schedule.recover({event.pids[0]!r}, at={event.at})")
+            elif event.kind == "partition":
+                groups = [list(g) for g in event.groups]
+                lines.append(f"schedule.partition({groups!r}, at={event.at})")
+            elif event.kind == "heal":
+                lines.append(f"schedule.heal(at={event.at})")
+            elif event.kind == "leader":
+                scope = f", pids={list(event.scope)!r}" if event.scope else ""
+                lines.append(
+                    f"schedule.switch_leader({event.pids[0]!r}, at={event.at}{scope})"
+                )
+            elif event.kind == "loss_burst":
+                lines.append(
+                    f"schedule.loss_burst({event.value}, at={event.at}, "
+                    f"duration={event.duration})"
+                )
+            elif event.kind == "dup_burst":
+                lines.append(
+                    f"schedule.dup_burst({event.value}, at={event.at}, "
+                    f"duration={event.duration})"
+                )
+            elif event.kind == "latency_spike":
+                lines.append(
+                    f"schedule.latency_spike({event.value}, at={event.at}, "
+                    f"duration={event.duration})"
+                )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- generation
+@dataclass
+class _GenState:
+    """The generator's model of the cluster while sampling events."""
+
+    replicas: tuple[ProcessId, ...]
+    down: set[ProcessId] = field(default_factory=set)
+    pending_recover: list[tuple[float, ProcessId]] = field(default_factory=list)
+    groups: tuple[tuple[ProcessId, ...], ...] | None = None
+    heal_at: float | None = None
+    leader: ProcessId = ""
+    burst_until: float = 0.0
+
+    def advance_to(self, t: float) -> None:
+        """Apply planned recoveries/heals that occur before ``t``."""
+        keep = []
+        for at, pid in self.pending_recover:
+            if at <= t:
+                self.down.discard(pid)
+            else:
+                keep.append((at, pid))
+        self.pending_recover = keep
+        if self.heal_at is not None and self.heal_at <= t:
+            self.groups = None
+            self.heal_at = None
+
+    def component_of(self, pid: ProcessId) -> tuple[ProcessId, ...]:
+        if self.groups is None:
+            return self.replicas
+        for group in self.groups:
+            if pid in group:
+                return group
+        return self.replicas
+
+    def majority_component(self) -> tuple[ProcessId, ...] | None:
+        """Alive pids of a component holding > n/2 *alive* members, if any."""
+        need = len(self.replicas) // 2 + 1
+        sides = self.groups if self.groups is not None else (self.replicas,)
+        for group in sides:
+            alive = tuple(p for p in group if p not in self.down)
+            if len(alive) >= need:
+                return alive
+        return None
+
+    def leader_healthy(self) -> bool:
+        if self.leader in self.down:
+            return False
+        majority = self.majority_component()
+        return majority is not None and self.leader in majority
+
+
+def generate_schedule(
+    seed: int,
+    replicas: Iterable[ProcessId],
+    horizon: float = 2.0,
+    intensity: float = 1.0,
+    allow_majority_loss: bool = False,
+) -> NemesisSchedule:
+    """Sample a coherent fault timeline for ``replicas`` from one seed.
+
+    ``intensity`` scales the expected event rate (about two fault injections
+    per simulated second at 1.0). ``allow_majority_loss`` permits crash
+    bursts that take down a majority — safety must still hold (nothing can
+    be committed without a majority), and the final recover-all restores
+    liveness.
+    """
+    pids = tuple(replicas)
+    if len(pids) < 2:
+        raise ConfigError("nemesis schedules need at least two replicas")
+    if horizon <= 0:
+        raise ConfigError(f"horizon must be > 0, got {horizon}")
+    rng = random.Random(f"{seed}/nemesis")
+    state = _GenState(replicas=pids, leader=pids[0])
+    events: list[NemesisEvent] = []
+    used_crash: set[tuple[ProcessId, float]] = set()
+    max_faults = (len(pids) - 1) // 2
+
+    def emit(event: NemesisEvent) -> None:
+        events.append(event)
+
+    def switch_scope(target: ProcessId) -> tuple[ProcessId, ...]:
+        """Replicas that can observe a view change to ``target``: during a
+        partition, only ``target``'s own component (a cut-off minority keeps
+        its stale view — the split-brain shape worth probing)."""
+        if state.groups is None:
+            return ()
+        return state.component_of(target)
+
+    def pick_new_leader(at: float) -> None:
+        """If the designated leader is dead or minority-side, flip to an
+        alive majority-side replica so progress can resume."""
+        majority = state.majority_component()
+        if majority is None:
+            return
+        if state.leader in majority and state.leader not in state.down:
+            return
+        target = majority[rng.randrange(len(majority))]
+        state.leader = target
+        emit(
+            NemesisEvent(
+                at=round(at, 4), kind="leader", pids=(target,),
+                scope=switch_scope(target),
+            )
+        )
+
+    t = 0.02 + rng.random() * 0.05
+    mean_gap = 0.5 / max(intensity, 1e-6)
+    while t < horizon:
+        state.advance_to(t)
+        at = round(t, 4)
+        choice = rng.random()
+        if choice < 0.30:
+            # Crash a replica (+ recovery later).
+            candidates = [p for p in pids if p not in state.down]
+            over_budget = len(state.down) >= max_faults
+            if candidates and (not over_budget or allow_majority_loss):
+                pid = candidates[rng.randrange(len(candidates))]
+                if (pid, at) not in used_crash:
+                    used_crash.add((pid, at))
+                    state.down.add(pid)
+                    emit(NemesisEvent(at=at, kind="crash", pids=(pid,)))
+                    downtime = 0.1 + rng.random() * min(1.0, horizon / 2)
+                    back = round(min(t + downtime, horizon), 4)
+                    state.pending_recover.append((back, pid))
+                    emit(NemesisEvent(at=back, kind="recover", pids=(pid,)))
+                    if pid == state.leader:
+                        pick_new_leader(t + 0.01)
+        elif choice < 0.55:
+            # Partition the replica set in two (clients stay connected).
+            # Half the time, deliberately exile the current leader into the
+            # smaller side: that is the split-brain shape where a stale
+            # leader keeps hearing clients while the majority elects anew.
+            if state.groups is None:
+                shuffled = list(pids)
+                rng.shuffle(shuffled)
+                if rng.random() < 0.5 and state.leader in shuffled:
+                    shuffled.remove(state.leader)
+                    shuffled.insert(0, state.leader)
+                    cut = 1 + rng.randrange(max(1, (len(pids) - 1) // 2))
+                else:
+                    cut = rng.randrange(1, len(pids))
+                groups = (tuple(shuffled[:cut]), tuple(shuffled[cut:]))
+                state.groups = groups
+                emit(NemesisEvent(at=at, kind="partition", groups=groups))
+                hold = 0.15 + rng.random() * min(1.0, horizon / 2)
+                heal = round(min(t + hold, horizon), 4)
+                state.heal_at = heal
+                emit(NemesisEvent(at=heal, kind="heal"))
+                if not state.leader_healthy():
+                    pick_new_leader(t + 0.01)
+        elif choice < 0.65:
+            # Gratuitous leader switch inside the majority component.
+            majority = state.majority_component()
+            if majority:
+                target = majority[rng.randrange(len(majority))]
+                if target != state.leader:
+                    state.leader = target
+                    emit(
+                        NemesisEvent(
+                            at=at, kind="leader", pids=(target,),
+                            scope=switch_scope(target),
+                        )
+                    )
+        else:
+            # Network disturbance burst (loss / duplication / latency).
+            if t >= state.burst_until:
+                burst_kind = ("loss_burst", "dup_burst", "latency_spike")[
+                    rng.randrange(3)
+                ]
+                duration = round(0.1 + rng.random() * 0.4, 4)
+                end = min(t + duration, horizon)
+                duration = round(end - t, 4)
+                if duration > 0:
+                    if burst_kind == "loss_burst":
+                        value = round(0.05 + rng.random() * 0.35, 3)
+                    elif burst_kind == "dup_burst":
+                        value = round(0.1 + rng.random() * 0.5, 3)
+                    else:
+                        value = round((0.5 + rng.random() * 4.5) * 1e-3, 6)
+                    state.burst_until = t + duration
+                    emit(
+                        NemesisEvent(
+                            at=at, kind=burst_kind, value=value, duration=duration
+                        )
+                    )
+        t += rng.expovariate(1.0 / mean_gap) if mean_gap > 0 else horizon
+
+    # Final stabilization: heal, recover everyone, settle leadership. After
+    # this point a majority is stable and the liveness invariant applies.
+    end = round(horizon, 4)
+    emit(NemesisEvent(at=end, kind="heal"))
+    for pid in pids:
+        emit(NemesisEvent(at=end, kind="recover", pids=(pid,)))
+    state.down.clear()
+    state.groups = None
+    final_leader = state.leader if state.leader else pids[0]
+    emit(NemesisEvent(at=round(end + 0.01, 4), kind="leader", pids=(final_leader,)))
+
+    events.sort(key=lambda e: (e.at, EVENT_KINDS.index(e.kind)))
+    return NemesisSchedule(seed=seed, horizon=horizon, events=tuple(events))

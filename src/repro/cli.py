@@ -301,6 +301,62 @@ def trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def chaos_command(args: argparse.Namespace) -> int:
+    """Fan a nemesis-schedule sweep over seeds, check invariants, report.
+
+    Exit status 1 when any seed violated an invariant (CI gate)."""
+    import dataclasses
+
+    from repro.chaos import (
+        ChaosOptions,
+        dump_summary,
+        render_report,
+        run_chaos,
+        shrink,
+        to_summary,
+    )
+
+    options = ChaosOptions(
+        protocol=args.protocol,
+        n_replicas=args.replicas,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        horizon=args.horizon,
+        intensity=args.intensity,
+        allow_majority_loss=args.allow_majority_loss,
+        tracing=args.tracing,
+        mutation=args.mutation,
+    )
+    results = []
+    for seed in range(args.seed, args.seed + args.seeds):
+        result = run_chaos(seed, options, keep_cluster=args.tracing)
+        results.append(result)
+        if not result.ok and not args.quiet:
+            names = ",".join(sorted({v.invariant for v in result.violations}))
+            print(f"seed {seed}: VIOLATION ({names})", file=sys.stderr)
+
+    shrink_outcomes = []
+    if args.shrink:
+        for result in results:
+            if result.ok:
+                continue
+            # Shrink without tracing: the minimization loop re-runs the
+            # trial many times and only the final repro matters.
+            outcome = shrink(
+                result.schedule,
+                dataclasses.replace(options, tracing=False),
+                budget=args.shrink_budget,
+            )
+            shrink_outcomes.append(outcome)
+
+    print(render_report(results, shrink_outcomes), end="")
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            fh.write(dump_summary(to_summary(results, shrink_outcomes)))
+        print(f"summary: {args.summary}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def report_command(args: argparse.Namespace) -> int:
     """Render tables from one JSONL export, or compare two."""
     from repro.obs.report import render_comparison, render_report
@@ -391,6 +447,42 @@ def main(argv: Sequence[str] | None = None) -> int:
     report.add_argument("paths", nargs="+", metavar="EXPORT",
                         help="one export to report on, or two to compare")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault schedules + invariant checks over many seeds",
+    )
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="number of seeds to sweep (default: 20)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="first seed of the sweep (default: 0)")
+    chaos.add_argument("--protocol", default="basic",
+                       choices=("basic", "xpaxos", "tpaxos"),
+                       help="protocol under test (default: basic)")
+    chaos.add_argument("--replicas", type=int, default=3,
+                       help="replica count (default: 3)")
+    chaos.add_argument("--clients", type=int, default=2,
+                       help="client count (default: 2)")
+    chaos.add_argument("--requests", type=int, default=12,
+                       help="requests per client (default: 12)")
+    chaos.add_argument("--horizon", type=float, default=2.0,
+                       help="fault-injection window, simulated seconds (default: 2)")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="fault event rate multiplier (default: 1.0)")
+    chaos.add_argument("--allow-majority-loss", action="store_true",
+                       help="let crash bursts take down a majority")
+    chaos.add_argument("--mutation", choices=("minority-accept",),
+                       help="inject a deliberate protocol bug (validation runs)")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="minimize each violating schedule to a small repro")
+    chaos.add_argument("--shrink-budget", type=int, default=200,
+                       help="max extra trials per shrink (default: 200)")
+    chaos.add_argument("--tracing", action="store_true",
+                       help="record causal spans; violations print waterfalls")
+    chaos.add_argument("--summary", metavar="PATH",
+                       help="write the machine-readable JSON summary here")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="no per-seed progress lines on stderr")
+
     args = parser.parse_args(argv)
     if args.command == "experiments":
         print(build_experiments_report(quick=args.quick))
@@ -410,6 +502,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if len(args.paths) > 2:
             parser.error("report takes one export, or two to compare")
         return report_command(args)
+    if args.command == "chaos":
+        return chaos_command(args)
     raise AssertionError("unreachable")
 
 

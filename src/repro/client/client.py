@@ -19,6 +19,7 @@ from typing import Any, Sequence
 from repro.client.workload import Step
 from repro.core.messages import Reply, StartSignal
 from repro.core.requests import ClientRequest, RequestId
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.spans import Span
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.sim.process import Process
@@ -74,6 +75,9 @@ class Client(Process):
         wait_for_start: bool = True,
         retry_aborted: bool = False,
         max_abort_retries: int = 10,
+        backoff: float = 2.0,
+        timeout_cap: float | None = None,
+        jitter: float = 0.1,
     ) -> None:
         super().__init__(pid)
         self.replicas = tuple(replicas)
@@ -82,6 +86,19 @@ class Client(Process):
         self.wait_for_start = wait_for_start
         self.retry_aborted = retry_aborted
         self.max_abort_retries = max_abort_retries
+        #: Retransmission backoff: each unanswered retransmit multiplies the
+        #: current timeout by ``backoff``, capped at ``timeout_cap`` (default
+        #: 10x the base timeout). ``jitter`` adds a seeded random fraction on
+        #: top so synchronized clients desynchronize under sustained faults
+        #: instead of retransmitting in lockstep. ``backoff=1.0, jitter=0.0``
+        #: restores the old fixed-interval behaviour.
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.backoff = backoff
+        self.timeout_cap = timeout_cap if timeout_cap is not None else 10.0 * timeout
+        self.jitter = jitter
 
         self.records: list[StepRecord] = []
         self.done = False
@@ -95,7 +112,12 @@ class Client(Process):
         self._txn_id: str | None = None
         self._current: RequestRecord | None = None
         self._current_request: ClientRequest | None = None
+        self._gap_taken = False
         self._timer = None
+        self._timeout_current = timeout
+        #: Observability sink (set by the harness): retransmits are counted
+        #: under ``client.retransmit`` so fault runs expose retry pressure.
+        self.metrics: MetricsRegistry = NULL_REGISTRY
         #: Causal tracing (set by the harness). Each request opens a root
         #: trace span: submit -> matching Reply.
         self.tracer: Tracer | NullTracer = NULL_TRACER
@@ -124,6 +146,13 @@ class Client(Process):
             self._finish()
             return
         step = self.steps[self._step_index]
+        if step.gap > 0 and not self._gap_taken:
+            # Think time: pace the workload so it spans a fault schedule's
+            # whole horizon instead of finishing in the first few ms.
+            self._gap_taken = True
+            self.set_timer(step.gap, self._next_step)
+            return
+        self._gap_taken = False
         self._req_index = 0
         self._txn_id = (
             f"{self.pid}:{self._step_index}:{self._attempt}" if step.transactional else None
@@ -146,6 +175,7 @@ class Client(Process):
         request = ClientRequest(rid=rid, kind=kind, op=op, txn=self._txn_id, txn_seq=txn_seq)
         self._current_request = request
         self._current = RequestRecord(rid=rid, kind=kind, sent_at=self.now, op=op)
+        self._timeout_current = self.timeout  # backoff resets per fresh request
         self.records[-1].requests.append(self._current)
         tracer = self.tracer
         if tracer.enabled:
@@ -163,13 +193,18 @@ class Client(Process):
     def _arm_timer(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
-        self._timer = self.set_timer(self.timeout, self._retransmit)
+        delay = self._timeout_current
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self.rng.random()
+        self._timer = self.set_timer(delay, self._retransmit)
 
     def _retransmit(self) -> None:
         if self._current is None or self._current.completed_at is not None:
             return
         assert self._current_request is not None
         self._current.retransmits += 1
+        self.metrics.counter("client.retransmit").inc()
+        self._timeout_current = min(self.timeout_cap, self._timeout_current * self.backoff)
         if self._span is not None:
             self._span.attrs["retransmits"] = self._current.retransmits
         token = self.tracer.activate(self._span)

@@ -22,11 +22,15 @@ class Step:
 
     ``transactional`` marks T-Paxos steps: the requests carry a per-attempt
     transaction id, and an ABORTED reply cancels the rest of the step.
+    ``gap`` is think time: the client waits that many seconds before
+    issuing the step (chaos workloads use it to spread requests across a
+    fault schedule's horizon; the paper's closed-loop benchmarks keep 0).
     """
 
     requests: tuple[tuple[RequestKind, Any], ...]
     transactional: bool = False
     label: str = ""
+    gap: float = 0.0
 
 
 def single_kind_steps(

@@ -80,8 +80,16 @@ class ClusterSpec:
     accept_retry: float = 0.5
     prepare_retry: float = 0.1
     client_timeout: float = 1.0
+    #: Client retransmission backoff (see :class:`repro.client.client.Client`):
+    #: multiplier per unanswered retransmit, cap on the grown timeout
+    #: (``None`` = 10x the base timeout), and seeded jitter fraction.
+    client_backoff: float = 2.0
+    client_timeout_cap: float | None = None
+    client_jitter: float = 0.1
     retry_aborted: bool = False
     max_abort_retries: int = 10
+    #: Idle-transaction expiry (see :class:`repro.core.config.ReplicaConfig`).
+    txn_timeout: float = 2.0
     #: "static" (benchmark default), "manual" (fault tests), "omega".
     elector: str = "static"
     omega_heartbeat: float = 0.05
@@ -161,6 +169,7 @@ class Cluster:
             prepare_retry=spec.prepare_retry,
             checkpoint_interval=spec.checkpoint_interval,
             execute_time=spec.execute_time,
+            txn_timeout=spec.txn_timeout,
         )
         self.config = config
 
@@ -200,8 +209,12 @@ class Cluster:
                 wait_for_start=True,
                 retry_aborted=spec.retry_aborted,
                 max_abort_retries=spec.max_abort_retries,
+                backoff=spec.client_backoff,
+                timeout_cap=spec.client_timeout_cap,
+                jitter=spec.client_jitter,
             )
             client.tracer = self.tracer
+            client.metrics = self.metrics
             self.world.add(client, cpu=profile.client_cpu)
             self.clients.append(client)
 

@@ -85,6 +85,14 @@ class ReplicaLog:
             (i, v) for i, v in self._chosen.items() if i > instance
         )
 
+    def chosen_items(self) -> tuple[tuple[InstanceId, Proposal], ...]:
+        """Read-only snapshot of every retained chosen entry, ordered.
+
+        Used by the chaos invariant layer to cross-check logs between
+        replicas; entries below ``compacted_to`` have been dropped and are
+        not reported."""
+        return tuple(sorted(self._chosen.items()))
+
     # -------------------------------------------------------------- recovery
     def max_instance(self) -> InstanceId:
         """Highest instance this replica has any information about."""

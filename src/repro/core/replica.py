@@ -740,6 +740,23 @@ class Replica(Process):
         return self.role is ReplicaRole.LEADING
 
     # ================================================================ helpers
+    def invariant_snapshot(self) -> dict[str, Any]:
+        """Read-only view of this replica's decided/applied state for the
+        chaos invariant layer (:mod:`repro.chaos.invariants`). Never mutates
+        anything; safe to call on crashed replicas (their stable log and the
+        last materialized service state survive the crash)."""
+        return {
+            "pid": self.pid,
+            "alive": self.alive,
+            "role": self.role.value,
+            "applied": self.applied,
+            "frontier": self.log.frontier,
+            "compacted_to": self.log.compacted_to,
+            "checkpoint_instance": self.stable["checkpoint"][0],
+            "chosen": self.log.chosen_items(),
+            "fingerprint": self.service.state_fingerprint(),
+        }
+
     def execution_context(self, txn: str | None = None) -> ExecutionContext:
         return ExecutionContext(rng=self.rng, now=self.now, txn=txn)
 

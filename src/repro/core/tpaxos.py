@@ -57,6 +57,9 @@ class ActiveTxn:
     replied: dict[RequestId, Any] = field(default_factory=dict)
     #: Causal-tracing scope span: first op -> commit chosen / rollback.
     span: Any = None
+    #: Virtual time of the last request touching this transaction; idle
+    #: transactions past ``config.txn_timeout`` are expired.
+    last_activity: float = 0.0
 
 
 class TxnManager:
@@ -69,10 +72,15 @@ class TxnManager:
         #: Statistics.
         self.commits = 0
         self.aborts = 0
+        self._expiry_armed = False
 
     # --------------------------------------------------------------- routing
     def on_request(self, src: ProcessId, request: ClientRequest) -> None:
         kind = request.kind
+        if request.txn is not None:
+            txn = self.active.get(request.txn)
+            if txn is not None:
+                txn.last_activity = self.replica.now
         if kind is RequestKind.TXN_OP:
             self._on_op(src, request)
         elif kind is RequestKind.TXN_COMMIT:
@@ -88,8 +96,13 @@ class TxnManager:
         assert request.txn is not None
         txn = self.active.get(request.txn)
         if txn is None:
-            txn = ActiveTxn(txn_id=request.txn, client=request.rid.client)
+            txn = ActiveTxn(
+                txn_id=request.txn,
+                client=request.rid.client,
+                last_activity=replica.now,
+            )
             self.active[request.txn] = txn
+            self._arm_expiry()
             if replica.tracer.enabled:
                 # A transaction scope is its own trace: it outlives each of
                 # its ops' request traces and ends at commit/abort.
@@ -212,6 +225,36 @@ class TxnManager:
                 # Commit already in flight: its fate is decided by consensus.
                 self.active.pop(txn.txn_id, None)
 
+    # ---------------------------------------------------------------- expiry
+    def _arm_expiry(self) -> None:
+        """Keep one sweep timer pending while transactions are open."""
+        timeout = self.replica.config.txn_timeout
+        if timeout <= 0 or self._expiry_armed:
+            return
+        self._expiry_armed = True
+        self.replica.set_timer(timeout / 2, self._expire_sweep)
+
+    def _expire_sweep(self) -> None:
+        """Abort ACTIVE transactions idle past ``config.txn_timeout``.
+
+        A client that abandoned its transaction (a stale leader during a
+        partial view change answered one of its ops with ABORTED, so it
+        retried under a fresh txn id) never sends TXN_ABORT for the old
+        one; without expiry that zombie holds its locks — aborting every
+        later transaction on the same keys — and its speculative effects,
+        leaving this replica's service copy diverged forever. COMMITTING
+        transactions are left alone: consensus decides their fate."""
+        self._expiry_armed = False
+        timeout = self.replica.config.txn_timeout
+        if timeout <= 0:
+            return
+        now = self.replica.now
+        for txn in list(self.active.values()):
+            if txn.phase is TxnPhase.ACTIVE and now - txn.last_activity >= timeout:
+                self._rollback(txn, cause="expired")
+        if self.active:
+            self._arm_expiry()
+
     def drop_all(self) -> None:
         """Leadership lost mid-transaction (§3.6): every active transaction
         dies. No undo runs — the replica rebuilds its whole service copy
@@ -230,3 +273,5 @@ class TxnManager:
 
     def reset(self) -> None:
         self.active.clear()
+        # Crash path: pending sweep timers died with the process epoch.
+        self._expiry_armed = False

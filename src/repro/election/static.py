@@ -9,6 +9,8 @@ leader switch at a precise simulated time.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.election.base import LeaderElector
 from repro.types import ProcessId
 
@@ -56,7 +58,9 @@ class ManualElector(LeaderElector):
         if leader == self._leader:
             return
         self._leader = leader
-        if self.host is not None:
+        # A crashed host must not observe view changes (a dead process
+        # executes no steps); on_recover re-announces the current leader.
+        if self.host is not None and self.host.alive:
             self.host.leader_changed(leader)
 
     def current_leader(self) -> ProcessId | None:
@@ -75,7 +79,15 @@ class ManualElectorGroup:
         self.electors[pid] = elector
         return elector
 
-    def set_leader(self, leader: ProcessId | None) -> None:
-        """Flip every replica's view at once (an idealized instant election)."""
-        for elector in self.electors.values():
-            elector.set_leader(leader)
+    def set_leader(
+        self,
+        leader: ProcessId | None,
+        pids: Iterable[ProcessId] | None = None,
+    ) -> None:
+        """Flip replica views at once (an idealized instant election).
+
+        ``pids`` restricts the flip to a subset of replicas — models a view
+        change that a partitioned-away minority cannot observe."""
+        for pid, elector in self.electors.items():
+            if pids is None or pid in pids:
+                elector.set_leader(leader)

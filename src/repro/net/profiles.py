@@ -207,10 +207,39 @@ def wan() -> NetworkProfile:
     )
 
 
+# ----------------------------------------------------------------------- flat
+def _flat_builder(replicas: Sequence[ProcessId], clients: Sequence[ProcessId]) -> Topology:
+    from repro.net.latency import ConstantLatency
+
+    topo = Topology(
+        default=LinkSpec(latency=ConstantLatency(1e-3), jitter_reorder=False)
+    )
+    topo.place_all(list(replicas), "site")
+    topo.place_all(list(clients), "site")
+    return topo
+
+
+def flat() -> NetworkProfile:
+    """Featureless 1 ms constant-latency profile (no jitter, free CPUs).
+
+    Not a paper configuration: used by the chaos engine and protocol tests,
+    where deterministic timing makes found schedules easy to reason about."""
+    return NetworkProfile(
+        name="flat",
+        description="Flat 1 ms constant-latency profile (chaos/protocol testing).",
+        replica_cpu=CpuProfile(),
+        client_cpu=CpuProfile(),
+        paper_rrt={},
+        _builder=_flat_builder,
+        per_connection_overhead=0.0,
+    )
+
+
 PROFILES: Mapping[str, Callable[[], NetworkProfile]] = {
     "sysnet": sysnet,
     "berkeley_princeton": berkeley_princeton,
     "wan": wan,
+    "flat": flat,
 }
 
 

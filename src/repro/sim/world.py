@@ -213,6 +213,16 @@ class World:
                 if cause:
                     span.attrs["cause"] = cause
                 tracer.end(span, status="dropped")
+        elif len(copies) > 1:
+            # Duplicated delivery: mirror the drop-cause plumbing so the
+            # duplicate shows up in trace timelines and on the message span.
+            if self.trace is not None:
+                self.trace.emit(self.kernel.now, "dup", src, dst, msg)
+            if metrics.enabled:
+                metrics.counter(f"msg.dup.{type(msg).__name__}").inc()
+            if span is not None:
+                cause = getattr(self.network, "last_dup_cause", None)
+                span.attrs["dup"] = cause or "link"
         for delay in copies:
             self.kernel.schedule_at(depart + delay, self._arrive, src, dst, msg, span)
 

@@ -1,0 +1,333 @@
+"""Unit tests for the chaos engine: schedule generation/serialization,
+invariant checkers on synthetic snapshots, and trial option validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.invariants import (
+    Violation,
+    check_at_most_once,
+    check_linearizability,
+    check_liveness,
+    check_log_agreement,
+    check_prefix_consistency,
+    check_state_convergence,
+    check_txn_atomicity,
+)
+from repro.chaos.runner import ChaosOptions
+from repro.chaos.schedule import (
+    EVENT_KINDS,
+    NemesisEvent,
+    NemesisSchedule,
+    generate_schedule,
+)
+from repro.core.messages import Proposal
+from repro.core.requests import ClientRequest, RequestId
+from repro.errors import ConfigError
+from repro.types import RequestKind
+
+PIDS = ("r0", "r1", "r2")
+
+
+# ----------------------------------------------------------------- generation
+class TestGenerateSchedule:
+    def test_same_seed_same_schedule(self):
+        a = generate_schedule(7, PIDS)
+        b = generate_schedule(7, PIDS)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        schedules = {generate_schedule(s, PIDS).events for s in range(20)}
+        assert len(schedules) > 1
+
+    def test_events_sorted_and_within_horizon(self):
+        for seed in range(30):
+            schedule = generate_schedule(seed, PIDS, horizon=1.5)
+            ats = [e.at for e in schedule.events]
+            assert ats == sorted(ats)
+            # Only the final stabilizing leader switch may exceed the horizon.
+            assert all(e.at <= 1.5 + 0.011 for e in schedule.events)
+
+    def test_every_crash_is_paired_with_recovery(self):
+        for seed in range(30):
+            schedule = generate_schedule(seed, PIDS)
+            crashes = sum(1 for e in schedule.events if e.kind == "crash")
+            recoveries = sum(1 for e in schedule.events if e.kind == "recover")
+            # Final stabilization recovers everyone, so recover >= crash.
+            assert recoveries >= crashes
+
+    def test_majority_stays_alive_by_default(self):
+        max_faults = (len(PIDS) - 1) // 2
+        for seed in range(50):
+            schedule = generate_schedule(seed, PIDS)
+            down: set[str] = set()
+            worst = 0
+            for event in schedule.events:
+                if event.kind == "crash":
+                    down.add(event.pids[0])
+                elif event.kind == "recover":
+                    down.discard(event.pids[0])
+                worst = max(worst, len(down))
+            assert worst <= max_faults, f"seed {seed} took down {worst}"
+
+    def test_ends_with_heal_recover_all_and_leader(self):
+        schedule = generate_schedule(3, PIDS, horizon=2.0)
+        tail = [e for e in schedule.events if e.at >= 2.0]
+        kinds = [e.kind for e in tail]
+        assert "heal" in kinds
+        assert sum(1 for k in kinds if k == "recover") == len(PIDS)
+        assert kinds[-1] == "leader"
+        # The final switch is unscoped: every replica learns the view.
+        assert tail[-1].scope == ()
+
+    def test_leader_switches_target_alive_replicas(self):
+        for seed in range(50):
+            schedule = generate_schedule(seed, PIDS)
+            down: set[str] = set()
+            for event in schedule.events:
+                if event.kind == "crash":
+                    down.add(event.pids[0])
+                elif event.kind == "recover":
+                    down.discard(event.pids[0])
+                elif event.kind == "leader":
+                    assert event.pids[0] not in down, f"seed {seed}"
+
+    def test_intensity_scales_event_count(self):
+        calm = sum(len(generate_schedule(s, PIDS, intensity=0.3)) for s in range(20))
+        wild = sum(len(generate_schedule(s, PIDS, intensity=3.0)) for s in range(20))
+        assert wild > calm
+
+    def test_too_few_replicas_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_schedule(0, ("r0",))
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_schedule(0, PIDS, horizon=0.0)
+
+
+# -------------------------------------------------------------- serialization
+class TestScheduleSerialization:
+    def test_event_round_trip(self):
+        event = NemesisEvent(
+            at=0.5, kind="leader", pids=("r1",), scope=("r1", "r2")
+        )
+        assert NemesisEvent.from_dict(event.to_dict()) == event
+
+    def test_schedule_round_trip(self):
+        for seed in range(10):
+            schedule = generate_schedule(seed, PIDS)
+            assert NemesisSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            NemesisEvent(at=0.0, kind="meteor")
+
+    def test_describe_covers_every_kind(self):
+        samples = {
+            "crash": NemesisEvent(0.1, "crash", pids=("r0",)),
+            "partition": NemesisEvent(0.1, "partition", groups=(("r0",), ("r1", "r2"))),
+            "heal": NemesisEvent(0.1, "heal"),
+            "leader": NemesisEvent(0.1, "leader", pids=("r1",), scope=("r1", "r2")),
+            "loss_burst": NemesisEvent(0.1, "loss_burst", value=0.2, duration=0.3),
+        }
+        for kind, event in samples.items():
+            text = event.describe()
+            assert kind.split("_")[0] in text
+
+    def test_to_script_is_runnable_fault_calls(self):
+        schedule = NemesisSchedule(
+            seed=1,
+            horizon=1.0,
+            events=(
+                NemesisEvent(0.1, "crash", pids=("r0",)),
+                NemesisEvent(0.2, "partition", groups=(("r0",), ("r1", "r2"))),
+                NemesisEvent(0.3, "leader", pids=("r1",), scope=("r1", "r2")),
+                NemesisEvent(0.5, "heal"),
+                NemesisEvent(0.6, "recover", pids=("r0",)),
+                NemesisEvent(0.7, "dup_burst", value=0.4, duration=0.1),
+            ),
+        )
+        script = schedule.to_script()
+        assert "schedule.crash('r0', at=0.1)" in script
+        assert "schedule.switch_leader('r1', at=0.3, pids=['r1', 'r2'])" in script
+        assert "schedule.dup_burst(0.4, at=0.7, duration=0.1)" in script
+
+    def test_with_events_replaces(self):
+        schedule = generate_schedule(0, PIDS)
+        emptied = schedule.with_events(())
+        assert len(emptied) == 0
+        assert emptied.seed == schedule.seed
+
+    def test_event_kind_order_is_stable(self):
+        # The sort key indexes into EVENT_KINDS; renaming/reordering breaks
+        # reproducibility of stored schedules.
+        assert EVENT_KINDS == (
+            "crash", "recover", "partition", "heal", "leader",
+            "loss_burst", "dup_burst", "latency_spike",
+        )
+
+
+# ------------------------------------------------------------------- options
+class TestChaosOptions:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosOptions(protocol="raft")
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosOptions(mutation="clock-skew")
+
+    def test_deadline_is_horizon_plus_grace(self):
+        options = ChaosOptions(horizon=2.0, liveness_grace=3.0)
+        assert options.deadline == 5.0
+
+
+# ---------------------------------------------------------------- invariants
+def _request(client: str, seq: int, kind=RequestKind.WRITE, **kw) -> ClientRequest:
+    return ClientRequest(RequestId(client, seq), kind, op=("put", "x", seq), **kw)
+
+
+def _proposal(*requests: ClientRequest) -> Proposal:
+    return Proposal(requests=tuple(requests), payload=None)
+
+
+def _snap(pid: str, chosen=(), alive=True, applied=0, frontier=None,
+          compacted=0, checkpoint=0, fingerprint="fp"):
+    return {
+        "pid": pid,
+        "alive": alive,
+        "role": "following",
+        "applied": applied,
+        "frontier": frontier if frontier is not None else applied,
+        "compacted_to": compacted,
+        "checkpoint_instance": checkpoint,
+        "chosen": tuple(chosen),
+        "fingerprint": fingerprint,
+    }
+
+
+class TestInvariantCheckers:
+    def test_log_agreement_clean(self):
+        p = _proposal(_request("c0", 0))
+        snaps = [_snap("r0", [(1, p)]), _snap("r1", [(1, p)])]
+        assert check_log_agreement(snaps) == []
+
+    def test_log_agreement_detects_conflict(self):
+        snaps = [
+            _snap("r0", [(1, _proposal(_request("c0", 0)))]),
+            _snap("r1", [(1, _proposal(_request("c1", 5)))]),
+        ]
+        (violation,) = check_log_agreement(snaps)
+        assert violation.invariant == "log_agreement"
+        assert "instance 1" in violation.detail
+
+    def test_log_agreement_includes_crashed_replicas(self):
+        # The log is stable storage: a crashed replica's divergent entry
+        # still counts.
+        snaps = [
+            _snap("r0", [(1, _proposal(_request("c0", 0)))]),
+            _snap("r1", [(1, _proposal(_request("c1", 5)))], alive=False),
+        ]
+        assert len(check_log_agreement(snaps)) == 1
+
+    def test_at_most_once_detects_double_commit(self):
+        request = _request("c0", 0)
+        snaps = [
+            _snap("r0", [(1, _proposal(request)), (2, _proposal(request))]),
+        ]
+        (violation,) = check_at_most_once(snaps)
+        assert violation.invariant == "at_most_once"
+        assert violation.data["instances"] == [1, 2]
+
+    def test_at_most_once_clean_across_replicas(self):
+        request = _request("c0", 0)
+        snaps = [
+            _snap("r0", [(1, _proposal(request))]),
+            _snap("r1", [(1, _proposal(request))]),
+        ]
+        assert check_at_most_once(snaps) == []
+
+    def test_prefix_consistency_detects_applied_past_frontier(self):
+        snaps = [_snap("r0", applied=5, frontier=3)]
+        violations = check_prefix_consistency(snaps)
+        assert any("out of order" in v.detail for v in violations)
+
+    def test_prefix_consistency_detects_checkpoint_ahead(self):
+        snaps = [_snap("r0", applied=2, checkpoint=4)]
+        violations = check_prefix_consistency(snaps)
+        assert any("checkpoint" in v.detail for v in violations)
+
+    def test_prefix_consistency_detects_stale_chosen(self):
+        snaps = [
+            _snap("r0", chosen=[(1, _proposal(_request("c0", 0)))],
+                  applied=4, compacted=2, checkpoint=2),
+        ]
+        violations = check_prefix_consistency(snaps)
+        assert any("compaction point" in v.detail for v in violations)
+
+    def test_state_convergence_detects_divergence(self):
+        snaps = [
+            _snap("r0", applied=3, fingerprint="aaa"),
+            _snap("r1", applied=3, fingerprint="bbb"),
+        ]
+        (violation,) = check_state_convergence(snaps)
+        assert violation.invariant == "state_convergence"
+
+    def test_state_convergence_ignores_crashed_and_other_prefixes(self):
+        snaps = [
+            _snap("r0", applied=3, fingerprint="aaa"),
+            _snap("r1", applied=3, fingerprint="bbb", alive=False),
+            _snap("r2", applied=2, fingerprint="ccc"),
+        ]
+        assert check_state_convergence(snaps) == []
+
+    def test_txn_atomicity_accepts_whole_bundle(self):
+        op0 = _request("c0", 0, kind=RequestKind.TXN_OP, txn="t1", txn_seq=0)
+        op1 = _request("c0", 1, kind=RequestKind.TXN_OP, txn="t1", txn_seq=1)
+        commit = _request("c0", 2, kind=RequestKind.TXN_COMMIT, txn="t1", txn_seq=2)
+        snaps = [_snap("r0", [(1, _proposal(op0, op1, commit))])]
+        assert check_txn_atomicity(snaps) == []
+
+    def test_txn_atomicity_detects_torn_suffix(self):
+        # Commit claims two ops but the bundle carries one: the §3.6 torn
+        # transaction a leader switch could produce.
+        op1 = _request("c0", 1, kind=RequestKind.TXN_OP, txn="t1", txn_seq=1)
+        commit = _request("c0", 2, kind=RequestKind.TXN_COMMIT, txn="t1", txn_seq=2)
+        snaps = [_snap("r0", [(1, _proposal(op1, commit))])]
+        violations = check_txn_atomicity(snaps)
+        assert len(violations) == 1
+        assert violations[0].invariant == "txn_atomicity"
+
+    def test_txn_atomicity_detects_mixed_ids(self):
+        op0 = _request("c0", 0, kind=RequestKind.TXN_OP, txn="t1", txn_seq=0)
+        commit = _request("c0", 1, kind=RequestKind.TXN_COMMIT, txn="t2", txn_seq=1)
+        snaps = [_snap("r0", [(1, _proposal(op0, commit))])]
+        assert len(check_txn_atomicity(snaps)) == 1
+
+    def test_liveness_reports_unfinished_clients(self):
+        class FakeClient:
+            pid = "c0"
+            done = False
+            completed_requests = 3
+
+            def request_records(self):
+                return []
+
+        (violation,) = check_liveness([FakeClient()], deadline=5.0)
+        assert violation.invariant == "liveness"
+        assert "c0" in violation.detail
+
+    def test_linearizability_clean_on_empty_history(self):
+        class FakeClient:
+            records = []
+
+            def request_records(self):
+                return []
+
+        assert check_linearizability([FakeClient()], key="x") == []
+
+    def test_violation_to_dict_sorted(self):
+        violation = Violation("log_agreement", "boom", data={"b": 1, "a": 2})
+        assert list(violation.to_dict()["data"]) == ["a", "b"]

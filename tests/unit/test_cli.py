@@ -96,3 +96,33 @@ class TestExperimentsReport:
             assert marker in report, f"missing {marker}"
         # Spot-check one paper number appears alongside a measured one.
         assert "0.181" in report and "106.7" in report
+
+
+class TestChaosCommand:
+    def test_clean_sweep_exits_zero_and_writes_summary(self, tmp_path, capsys):
+        summary_path = tmp_path / "chaos.json"
+        code = main([
+            "chaos", "--seeds", "3", "--requests", "4", "--horizon", "0.5",
+            "--summary", str(summary_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 seed(s): 3 ok, 0 violating" in out
+        import json
+
+        summary = json.loads(summary_path.read_text())
+        assert summary["seeds"] == 3 and summary["violating"] == 0
+
+    def test_mutation_sweep_exits_nonzero_with_dossier(self, capsys):
+        code = main([
+            "chaos", "--seeds", "1", "--seed", "3",
+            "--mutation", "minority-accept", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violation(s)" in out
+        assert "runnable repro script:" in out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--protocol", "raft"])

@@ -1,0 +1,143 @@
+"""Client retransmission backoff, jitter, the ``client.retransmit``
+metric, and per-step think-time gaps (``Step.gap``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.client import Client
+from repro.client.workload import Step, single_kind_steps
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.services.kvstore import KVStoreService
+from repro.types import RequestKind
+from tests.conftest import make_test_profile
+
+
+def build_cluster(steps, **spec_kw) -> Cluster:
+    spec_kw.setdefault("client_timeout", 0.05)
+    spec_kw.setdefault("client_jitter", 0.0)
+    spec = ClusterSpec(profile=make_test_profile(), **spec_kw)
+    return Cluster(spec, [steps], service_factory=KVStoreService)
+
+
+def run_with_outage(cluster, until=1.0) -> list[float]:
+    """Crash every replica for [0, until) and record retransmit times."""
+    schedule = FaultSchedule(cluster)
+    for pid in cluster.replica_pids:
+        schedule.crash(pid, at=0.0)
+        schedule.recover(pid, at=until)
+    client = cluster.clients[0]
+    times: list[float] = []
+    original = client._retransmit
+
+    def spy():
+        times.append(client.now)
+        original()
+
+    client._retransmit = spy
+    cluster.run(max_time=30.0)
+    return times
+
+
+class TestBackoff:
+    def test_intervals_grow_geometrically_to_cap(self):
+        steps = single_kind_steps(RequestKind.WRITE, 1, op=("put", "x", 1))
+        cluster = build_cluster(steps, client_backoff=2.0)
+        times = run_with_outage(cluster, until=1.5)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert len(diffs) >= 3
+        # Each gap doubles until the cap (10x the 0.05 base = 0.5s).
+        for a, b in zip(diffs, diffs[1:]):
+            assert b == pytest.approx(min(2.0 * a, 0.5))
+        assert max(diffs) <= 0.5 + 1e-9
+
+    def test_timeout_cap_bounds_growth(self):
+        steps = single_kind_steps(RequestKind.WRITE, 1, op=("put", "x", 1))
+        cluster = build_cluster(steps, client_backoff=2.0, client_timeout_cap=0.12)
+        times = run_with_outage(cluster, until=1.0)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert max(diffs) <= 0.12 + 1e-9
+        assert diffs.count(pytest.approx(0.12)) >= 2
+
+    def test_backoff_one_restores_fixed_interval(self):
+        steps = single_kind_steps(RequestKind.WRITE, 1, op=("put", "x", 1))
+        cluster = build_cluster(steps, client_backoff=1.0)
+        times = run_with_outage(cluster, until=0.6)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(0.05) for d in diffs)
+
+    def test_backoff_resets_per_fresh_request(self):
+        # Two writes: the first rides out the outage with grown timeouts;
+        # the second starts back at the base timeout.
+        steps = single_kind_steps(RequestKind.WRITE, 2, op=("put", "x", 1))
+        cluster = build_cluster(steps, client_backoff=2.0)
+        run_with_outage(cluster, until=0.4)
+        assert cluster.clients[0].done
+        assert cluster.clients[0]._timeout_current == pytest.approx(0.05)
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def retransmit_times(seed):
+            steps = single_kind_steps(RequestKind.WRITE, 1, op=("put", "x", 1))
+            cluster = build_cluster(
+                steps, seed=seed, client_backoff=2.0, client_jitter=0.5
+            )
+            return run_with_outage(cluster, until=1.0)
+
+        assert retransmit_times(7) == retransmit_times(7)
+        assert retransmit_times(7) != retransmit_times(8)
+
+    def test_jitter_never_shrinks_the_delay(self):
+        steps = single_kind_steps(RequestKind.WRITE, 1, op=("put", "x", 1))
+        jittered = build_cluster(steps, client_backoff=2.0, client_jitter=0.5)
+        times = run_with_outage(jittered, until=1.0)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        # Base gaps without jitter would be 0.1, 0.2, ... — jitter only adds.
+        assert diffs[0] >= 0.1 - 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Client("c0", replicas=("r0",), steps=[], backoff=0.5)
+        with pytest.raises(ValueError):
+            Client("c0", replicas=("r0",), steps=[], jitter=-0.1)
+
+    def test_retransmit_metric_matches_records(self):
+        steps = single_kind_steps(RequestKind.WRITE, 2, op=("put", "x", 1))
+        cluster = build_cluster(steps, client_backoff=2.0)
+        run_with_outage(cluster, until=0.4)
+        recorded = sum(
+            r.retransmits for r in cluster.clients[0].request_records()
+        )
+        assert recorded > 0
+        assert cluster.metrics.counters()["client.retransmit"] == recorded
+
+
+class TestStepGap:
+    def write_steps(self, n, gap):
+        return [
+            Step(
+                requests=((RequestKind.WRITE, ("put", "x", i)),),
+                label="write",
+                gap=gap,
+            )
+            for i in range(n)
+        ]
+
+    def test_gap_paces_step_starts(self):
+        cluster = build_cluster(self.write_steps(4, gap=0.2))
+        cluster.run(max_time=10.0)
+        starts = [record.started_at for record in cluster.clients[0].records]
+        assert len(starts) == 4
+        for a, b in zip(starts, starts[1:]):
+            assert b - a >= 0.2
+
+    def test_zero_gap_keeps_closed_loop_behaviour(self):
+        cluster = build_cluster(self.write_steps(4, gap=0.0))
+        cluster.run(max_time=10.0)
+        assert cluster.clients[0].finished_at < 0.1
+
+    def test_gap_taken_before_first_step_too(self):
+        cluster = build_cluster(self.write_steps(1, gap=0.3))
+        cluster.run(max_time=10.0)
+        record = cluster.clients[0].records[0]
+        assert record.started_at >= 0.3

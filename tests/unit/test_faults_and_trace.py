@@ -59,6 +59,80 @@ class TestFaultSchedule:
         assert not cluster.network.partitions.active
 
 
+class TestFaultValidation:
+    def test_unknown_pid_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError, match="unknown process"):
+            FaultSchedule(cluster).crash("r9", at=0.01)
+        with pytest.raises(ConfigError, match="unknown process"):
+            FaultSchedule(cluster).recover("r9", at=0.01)
+        with pytest.raises(ConfigError, match="unknown process"):
+            FaultSchedule(cluster).partition([["r0"], ["r9"]], at=0.01)
+
+    def test_negative_time_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError, match="negative time"):
+            FaultSchedule(cluster).crash("r0", at=-0.5)
+        with pytest.raises(ConfigError, match="negative time"):
+            FaultSchedule(cluster).heal(at=-1.0)
+
+    def test_double_crash_same_instant_rejected(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster).crash("r0", at=0.01)
+        with pytest.raises(ConfigError, match="already scheduled"):
+            schedule.crash("r0", at=0.01)
+        # Different instants are a legitimate crash-recover-crash script.
+        schedule.recover("r0", at=0.02).crash("r0", at=0.03)
+
+    def test_burst_duration_must_be_positive(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError, match="duration"):
+            FaultSchedule(cluster).loss_burst(0.5, at=0.01, duration=0.0)
+        with pytest.raises(ConfigError, match="duration"):
+            FaultSchedule(cluster).dup_burst(0.5, at=0.01, duration=-0.1)
+
+    def test_switch_leader_scope_validated(self):
+        cluster = small_cluster(elector="manual")
+        with pytest.raises(ConfigError, match="unknown process"):
+            FaultSchedule(cluster).switch_leader("r1", at=0.01, pids=["r1", "r9"])
+
+    def test_faults_increment_counters(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.crash("r1", at=0.01).recover("r1", at=0.02)
+        schedule.partition([["r0"], ["r1", "r2"]], at=0.03)
+        schedule.heal(at=0.04)
+        schedule.loss_burst(0.1, at=0.05, duration=0.01)
+        cluster.start()
+        cluster.kernel.run(until=0.1)
+        counters = cluster.metrics.counters()
+        for kind in ("crash", "recover", "partition", "heal", "burst"):
+            assert counters[f"fault.{kind}"] == 1
+
+
+class TestScopedLeaderSwitch:
+    def test_scoped_switch_flips_only_targets(self):
+        cluster = small_cluster(elector="manual")
+        schedule = FaultSchedule(cluster)
+        schedule.switch_leader("r1", at=0.01, pids=["r1", "r2"])
+        cluster.start()
+        cluster.kernel.run(until=0.05)
+        electors = cluster.manual_electors.electors
+        # r0 was outside the scope: it still believes in the old view.
+        assert electors["r0"].current_leader() == "r0"
+        assert electors["r1"].current_leader() == "r1"
+        assert electors["r2"].current_leader() == "r1"
+        assert any("on r1,r2" in entry for _t, entry in schedule.applied)
+
+    def test_unscoped_switch_flips_everyone(self):
+        cluster = small_cluster(elector="manual")
+        FaultSchedule(cluster).switch_leader("r2", at=0.01)
+        cluster.start()
+        cluster.kernel.run(until=0.05)
+        electors = cluster.manual_electors.electors
+        assert all(e.current_leader() == "r2" for e in electors.values())
+
+
 class TestStarter:
     class Sink(Process):
         def __init__(self, pid):

@@ -25,11 +25,11 @@ def bank_factory():
     return service
 
 
-def make_leader(seed=0):
+def make_leader(seed=0, **config_kw):
     kernel = Kernel(seed=seed)
     trace = TraceRecorder()
     world = World(kernel, trace=trace)
-    config = ReplicaConfig(peers=PEERS)
+    config = ReplicaConfig(peers=PEERS, **config_kw)
     elector = ManualElector(None)
     leader = Replica("r0", config, bank_factory, elector)
     world.add(leader)
@@ -192,3 +192,50 @@ class TestCommitAbort:
         assert leader.txns.active == {}
         # No undo ran (drop_all relies on the caller rebuilding state).
         assert leader.service.accounts["alice"] == 70
+
+
+class TestIdleExpiry:
+    """Zombie transactions: a client that abandons a transaction (e.g. a
+    stale leader aborted it mid-stream during a partial view change, so it
+    retried under a fresh txn id) never sends TXN_ABORT — the idle-expiry
+    sweep must roll the orphan back and release its locks."""
+
+    def test_idle_txn_expires_and_rolls_back(self):
+        kernel, _trace, leader = make_leader(txn_timeout=0.3)
+        leader.on_message("c0", txn_op(0, ("withdraw", "alice", 30)))
+        kernel.run(until=kernel.now + 0.05)
+        assert leader.service.accounts["alice"] == 70
+        kernel.run(until=kernel.now + 0.6)  # idle well past the timeout
+        assert leader.txns.active == {}
+        assert leader.service.accounts["alice"] == 100  # undone
+        assert leader.locks.owners() == frozenset()
+
+    def test_activity_refreshes_the_clock(self):
+        kernel, _trace, leader = make_leader(txn_timeout=0.3)
+        leader.on_message("c0", txn_op(0, ("withdraw", "alice", 10)))
+        kernel.run(until=kernel.now + 0.2)
+        # A second op arrives before the timeout: the transaction is live.
+        leader.on_message("c0", txn_op(1, ("deposit", "bob", 10), txn_seq=1))
+        kernel.run(until=kernel.now + 0.2)
+        assert "t1" in leader.txns.active  # idle only 0.2s < 0.3s
+        kernel.run(until=kernel.now + 0.4)
+        assert leader.txns.active == {}  # now it expired
+
+    def test_zero_timeout_disables_expiry(self):
+        kernel, _trace, leader = make_leader(txn_timeout=0.0)
+        leader.on_message("c0", txn_op(0, ("withdraw", "alice", 30)))
+        kernel.run(until=kernel.now + 2.0)
+        assert "t1" in leader.txns.active
+
+    def test_expiry_unblocks_later_transactions(self):
+        kernel, trace, leader = make_leader(txn_timeout=0.3)
+        leader.on_message("c0", txn_op(0, ("withdraw", "alice", 30)))
+        kernel.run(until=kernel.now + 0.05)
+        # While the zombie holds the lock, c1's conflicting txn aborts.
+        leader.on_message("c1", txn_op(0, ("withdraw", "alice", 5), txn="t2", client="c1"))
+        kernel.run(until=kernel.now + 0.05)
+        assert replies_to(trace, "c1")[-1].status is ReplyStatus.ABORTED
+        kernel.run(until=kernel.now + 0.6)  # zombie expires
+        leader.on_message("c1", txn_op(1, ("withdraw", "alice", 5), txn="t3", client="c1"))
+        kernel.run(until=kernel.now + 0.05)
+        assert replies_to(trace, "c1")[-1].status is ReplyStatus.OK
