@@ -19,9 +19,9 @@ writes — and all fault-free histories — are unaffected.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Any, Iterable, Sequence
+from typing import Any
 
 
 @dataclass(frozen=True, slots=True)

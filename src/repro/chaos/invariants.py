@@ -32,8 +32,9 @@ of §3.1, plus the X-/T-Paxos extensions of §3.4–3.6):
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+from typing import Any, TYPE_CHECKING
 
 from repro.analysis.linearizability import check_register, history_from_clients
 from repro.types import RequestKind

@@ -14,7 +14,8 @@ Two outputs per sweep:
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.chaos.runner import ChaosResult

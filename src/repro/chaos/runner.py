@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 import random
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any
 
 from repro.chaos.invariants import Violation, check_cluster
 from repro.chaos.schedule import NemesisSchedule, generate_schedule

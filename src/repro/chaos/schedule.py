@@ -19,8 +19,9 @@ to_script` emits exactly that code.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.types import ProcessId

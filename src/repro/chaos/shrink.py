@@ -21,11 +21,11 @@ number of trial runs is bounded by ``budget``.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.chaos.runner import ChaosOptions, ChaosResult, run_with_schedule
-from repro.chaos.schedule import NemesisEvent, NemesisSchedule
+from repro.chaos.schedule import NemesisSchedule
 
 
 @dataclass

@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro import __version__
 from repro.analysis.report import percent_change
@@ -21,6 +21,7 @@ from repro.cluster.scenarios import (
     txn_rrt_scenario,
     txn_throughput_scenario,
 )
+from repro.lint.cli import add_lint_parser, lint_command
 from repro.net.profiles import PROFILES, get_profile
 
 KINDS = ("original", "read", "write")
@@ -483,6 +484,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     chaos.add_argument("--quiet", action="store_true",
                        help="no per-seed progress lines on stderr")
 
+    add_lint_parser(sub)
+
     args = parser.parse_args(argv)
     if args.command == "experiments":
         print(build_experiments_report(quick=args.quick))
@@ -504,6 +507,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return report_command(args)
     if args.command == "chaos":
         return chaos_command(args)
+    if args.command == "lint":
+        return lint_command(args)
     raise AssertionError("unreachable")
 
 

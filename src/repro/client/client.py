@@ -13,8 +13,9 @@ request to a new leader after a switch. Per-request and per-step
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any
 
 from repro.client.workload import Step
 from repro.core.messages import Reply, StartSignal

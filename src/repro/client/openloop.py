@@ -14,8 +14,9 @@ for anything involving faults.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any
 
 from repro.core.messages import Reply, StartSignal
 from repro.core.requests import ClientRequest, RequestId

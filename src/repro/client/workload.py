@@ -10,8 +10,9 @@ commit in one step, and the step's completion time is the paper's
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any
 
 from repro.types import RequestKind
 
@@ -82,7 +83,7 @@ def txn_steps(
                 raise ValueError("read_flags must match ops length")
             requests = tuple(
                 (RequestKind.READ if is_read else RequestKind.WRITE, op)
-                for op, is_read in zip(op_list, flags)
+                for op, is_read in zip(op_list, flags, strict=True)
             )
             requests += ((RequestKind.WRITE, commit_op),)  # the commit request
             steps.append(Step(requests=requests, label="txn-base"))

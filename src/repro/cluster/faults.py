@@ -17,8 +17,9 @@ timelines are visible in exported reports.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.types import ProcessId

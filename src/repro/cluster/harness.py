@@ -10,8 +10,8 @@ each client then works through its closed-loop step list.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 from repro.client.client import Client
 from repro.client.workload import Step
@@ -200,7 +200,7 @@ class Cluster:
             self.replicas[pid] = replica
 
         self.clients: list[Client] = []
-        for pid, steps in zip(self.client_pids, client_steps):
+        for pid, steps in zip(self.client_pids, client_steps, strict=True):
             client = Client(
                 pid,
                 replicas=self.replica_pids,

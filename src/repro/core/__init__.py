@@ -22,8 +22,8 @@ Module map (paper section in parentheses):
 from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.config import ReplicaConfig
 from repro.core.log import AcceptedEntry, ReplicaLog
-from repro.core.requests import ClientRequest, ExecutedTable, RequestId
 from repro.core.replica import Replica
+from repro.core.requests import ClientRequest, ExecutedTable, RequestId
 from repro.core.state import StatePayload
 
 __all__ = [

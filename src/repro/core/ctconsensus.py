@@ -28,8 +28,9 @@ suspicion patterns and assert agreement.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any
 
 from repro.errors import ProtocolError
 from repro.types import ProcessId

@@ -24,8 +24,9 @@ safe.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any
 
 from repro.core.ballot import Ballot
 from repro.errors import ProtocolError

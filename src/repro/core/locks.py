@@ -21,8 +21,8 @@ might still be rolled back.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.errors import LockConflict
 
@@ -180,6 +180,6 @@ class LockManager:
                 raise LockConflict(f"key {key!r} has both writer and readers")
             if lock.free:
                 raise LockConflict(f"key {key!r} is free but still in the table")
-            for owner in lock.readers | ({lock.writer} if lock.writer else set()):
+            for owner in sorted(lock.readers | ({lock.writer} if lock.writer else set())):
                 if key not in self._held_by.get(owner, ()):
                     raise LockConflict(f"lock on {key!r} not tracked for {owner!r}")

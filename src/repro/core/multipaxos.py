@@ -21,7 +21,8 @@ while the nondeterministic protocol keeps them identical.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.config import ReplicaConfig
 from repro.core.replica import Replica

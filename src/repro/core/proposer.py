@@ -33,8 +33,9 @@ instance *i* really is the state after executing requests 1..i.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable
+from typing import Any, TYPE_CHECKING
 
 from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.messages import AcceptBatch, AcceptedBatch, Proposal

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.config import ReplicaConfig

@@ -28,8 +28,10 @@ correctness under coordinator crashes. The quantitative §5 comparison:
 
 from __future__ import annotations
 
+import random
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from repro.core.ctconsensus import (
     CTAck,
@@ -42,8 +44,6 @@ from repro.core.ctconsensus import (
 from repro.errors import ProtocolError
 from repro.services.base import ExecutionContext, Service
 from repro.types import ProcessId
-
-import random
 
 
 #: The value decided per instance: (op, delta, reply).

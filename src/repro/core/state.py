@@ -17,8 +17,9 @@ options, all implemented here as :class:`repro.types.StateTransferMode`:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import ProtocolError
 from repro.types import StateTransferMode
@@ -102,7 +103,7 @@ def apply_payload(
                 f"REPRO payload has {len(payload.data)} entries for "
                 f"{len(request_ops)} ops"
             )
-        for op, repro in zip(request_ops, payload.data):
+        for op, repro in zip(request_ops, payload.data, strict=True):
             if op is None and repro is None:
                 continue  # the commit marker itself
             service.replay(op, repro)

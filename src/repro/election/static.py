@@ -9,7 +9,7 @@ leader switch at a precise simulated time.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.election.base import LeaderElector
 from repro.types import ProcessId

@@ -1,0 +1,58 @@
+"""Baseline files: adopt the linter on a tree with pre-existing findings.
+
+A baseline maps finding fingerprints (rule + file + normalized source
+line, see :func:`repro.lint.findings.fingerprint`) to occurrence counts.
+Findings covered by the baseline are reported in the summary but do not
+fail the run; anything *new* still does. The shipped tree is clean, so
+the checked-in ``lint-baseline.json`` is empty — it exists to pin the CI
+invocation and the adoption workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_VERSION = 1
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Known-and-tolerated findings, keyed by fingerprint."""
+
+    fingerprints: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or document.get("version") != _VERSION:
+            raise ValueError(f"{path}: not a v{_VERSION} lint baseline")
+        raw = document.get("fingerprints", {})
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: 'fingerprints' must be an object")
+        fingerprints: dict[str, int] = {}
+        for key, count in raw.items():
+            if not isinstance(count, int) or count < 1:
+                raise ValueError(f"{path}: bad count for {key!r}: {count!r}")
+            fingerprints[key] = count
+        return cls(fingerprints=fingerprints)
+
+    @classmethod
+    def from_fingerprints(cls, fingerprints: list[str]) -> "Baseline":
+        """Build from the fingerprints a no-baseline engine run collected."""
+        return cls(fingerprints=dict(Counter(fingerprints)))
+
+    def dump(self) -> str:
+        document = {
+            "version": _VERSION,
+            "tool": "repro-lint",
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.dump(), encoding="utf-8")
+        return path

@@ -1,0 +1,228 @@
+"""The lint engine: file discovery, rule execution, suppressions, baseline.
+
+The engine is deliberately boring and deterministic: files are visited in
+sorted order, findings are sorted by location, and nothing reads clocks —
+so two runs over the same tree produce byte-identical reports regardless
+of PYTHONHASHSEED (the same property the rules themselves enforce).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity, fingerprint
+from repro.lint.rules import all_rules
+
+#: Meta-rule ids emitted by the engine itself (not by plugins).
+PARSE_ERROR = "LINT000"
+BAD_SUPPRESSION = "LINT001"
+UNUSED_SUPPRESSION = "LINT002"
+
+META_RULES = {
+    PARSE_ERROR: "file does not parse (reported, never crashes the run)",
+    BAD_SUPPRESSION: "malformed suppression: missing reason or unknown rule id",
+    UNUSED_SUPPRESSION: "suppression comment that suppresses nothing",
+}
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything one engine run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    #: Fingerprint of every kept finding, for --write-baseline.
+    fingerprints: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class LintEngine:
+    """Runs the registered rules over source trees or raw source strings."""
+
+    def __init__(
+        self,
+        rules: Sequence | None = None,
+        baseline: Baseline | None = None,
+        select: Iterable[str] | None = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {rule.rule_id for rule in self.rules} - set(META_RULES)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+            self.rules = [rule for rule in self.rules if rule.rule_id in wanted]
+        self.baseline = baseline
+
+    def known_rule_ids(self) -> set[str]:
+        return {rule.rule_id for rule in self.rules} | set(META_RULES)
+
+    # ----------------------------------------------------------- execution
+    def check_source(
+        self, source: str, rel: str, result: LintResult | None = None
+    ) -> list[Finding]:
+        """Lint one in-memory source file; returns its (sorted) findings.
+
+        ``result``, when given, accrues the suppressed/baselined counters.
+        """
+        counters = result if result is not None else LintResult()
+        try:
+            ctx = FileContext.parse(source, rel)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule=PARSE_ERROR,
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+
+        raw: list[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check(ctx))
+
+        kept: list[Finding] = []
+        for finding in raw:
+            if ctx.suppressed(finding.rule, finding.line):
+                counters.suppressed += 1
+            else:
+                kept.append(finding)
+        kept.extend(self._suppression_findings(ctx))
+
+        if self.baseline is not None:
+            kept = self._apply_baseline(ctx, kept, counters)
+        kept.sort(key=lambda f: f.sort_key)
+        counters.fingerprints.extend(
+            fingerprint(f, ctx.line_text(f.line)) for f in kept
+        )
+        return kept
+
+    def _suppression_findings(self, ctx: FileContext) -> list[Finding]:
+        known = self.known_rule_ids()
+        findings: list[Finding] = []
+        for suppression in ctx.suppressions.values():
+            if not suppression.rules:
+                findings.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION,
+                        severity=Severity.ERROR,
+                        path=ctx.rel,
+                        line=suppression.line,
+                        col=1,
+                        message="suppression names no rules: use "
+                        "# lint: ignore[RULE] -- reason",
+                    )
+                )
+                continue
+            unknown = [
+                rule
+                for rule in suppression.rules
+                if rule != "*" and rule not in known
+            ]
+            if unknown:
+                findings.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION,
+                        severity=Severity.ERROR,
+                        path=ctx.rel,
+                        line=suppression.line,
+                        col=1,
+                        message=f"suppression names unknown rule(s) "
+                        f"{', '.join(unknown)}",
+                    )
+                )
+            if not suppression.reason:
+                findings.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION,
+                        severity=Severity.ERROR,
+                        path=ctx.rel,
+                        line=suppression.line,
+                        col=1,
+                        message="suppression requires a reason: "
+                        "# lint: ignore[RULE] -- why this is safe",
+                    )
+                )
+            elif not suppression.used and not unknown:
+                findings.append(
+                    Finding(
+                        rule=UNUSED_SUPPRESSION,
+                        severity=Severity.WARNING,
+                        path=ctx.rel,
+                        line=suppression.line,
+                        col=1,
+                        message=f"suppression for "
+                        f"{', '.join(suppression.rules)} matches no finding "
+                        "on this line; delete it",
+                    )
+                )
+        return findings
+
+    def _apply_baseline(
+        self, ctx: FileContext, findings: list[Finding], counters: LintResult
+    ) -> list[Finding]:
+        assert self.baseline is not None
+        budget = dict(self.baseline.fingerprints)
+        kept: list[Finding] = []
+        for finding in findings:
+            key = fingerprint(finding, ctx.line_text(finding.line))
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                counters.baselined += 1
+            else:
+                kept.append(finding)
+        return kept
+
+    # ----------------------------------------------------------- discovery
+    def check_paths(self, paths: Sequence[str | Path]) -> LintResult:
+        """Lint files and directory trees; paths are reported relative to
+        the scanned root that contained them."""
+        result = LintResult()
+        for root, file in self._discover(paths):
+            # Directory scans report paths relative to the scanned root;
+            # explicit files keep the path as given (so layer classification
+            # still sees the package directories above the file).
+            rel = file.relative_to(root).as_posix() if root != file else file.as_posix()
+            source = file.read_text(encoding="utf-8")
+            result.findings.extend(self.check_source(source, rel, result))
+            result.files += 1
+        result.findings.sort(key=lambda f: f.sort_key)
+        return result
+
+    @staticmethod
+    def _discover(paths: Sequence[str | Path]) -> list[tuple[Path, Path]]:
+        pairs: list[tuple[Path, Path]] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.exists():
+                raise FileNotFoundError(f"no such file or directory: {path}")
+            if path.is_dir():
+                pairs.extend(
+                    (path, file)
+                    for file in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in file.parts
+                    and not any(part.endswith(".egg-info") for part in file.parts)
+                )
+            else:
+                pairs.append((path, path))
+        return pairs

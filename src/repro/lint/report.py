@@ -1,0 +1,55 @@
+"""Lint reporters: human text and byte-deterministic JSON.
+
+The JSON reporter is itself held to the linter's own DET004/DET003
+standard: sorted findings, sorted keys, no clocks, no absolute paths —
+two runs over the same tree are byte-identical under any PYTHONHASHSEED.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    lines.append(
+        f"{len(result.findings)} finding(s) "
+        f"({result.errors} error(s), {result.warnings} warning(s)) "
+        f"in {result.files} file(s); "
+        f"{result.suppressed} suppressed, {result.baselined} baselined"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report; deterministic byte-for-byte."""
+    document = {
+        "version": _REPORT_VERSION,
+        "tool": "repro-lint",
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+        },
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def render_rules(rules: list) -> str:
+    """The ``--list-rules`` catalogue: id, severity, summary, rationale."""
+    blocks = []
+    for rule in rules:
+        blocks.append(
+            f"{rule.rule_id} [{rule.severity}] {rule.summary}\n"
+            f"    {rule.rationale}"
+        )
+    return "\n".join(blocks) + "\n"

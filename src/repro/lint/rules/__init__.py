@@ -1,0 +1,34 @@
+"""The rule registry: rules are plugins registered at import time.
+
+A rule module defines :class:`~repro.lint.rules.base.Rule` subclasses and
+decorates them with :func:`register`; importing this package pulls in
+every built-in rule module, so ``all_rules()`` is the complete catalogue.
+Adding a rule is: write the class, decorate it, list its module here.
+"""
+
+from __future__ import annotations
+
+RULE_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = getattr(cls, "rule_id", "")
+    if not rule_id:
+        raise ValueError(f"rule class {cls.__name__} has no rule_id")
+    if rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    RULE_REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules() -> list:
+    """One instance of every registered rule, ordered by rule id."""
+    return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]
+
+
+# Built-in rule modules (imported for their @register side effect; the
+# import must run after register() is defined, hence the placement).
+from repro.lint.rules import determinism, layering, messages, obs  # noqa: E402,F401
+
+__all__ = ["RULE_REGISTRY", "all_rules", "register"]

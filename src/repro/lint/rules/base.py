@@ -1,0 +1,66 @@
+"""Rule base class and the shared AST helpers rules are built from."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+
+
+class Rule:
+    """One lint rule: a stable id, a severity, and a per-file check.
+
+    Subclasses set the class attributes and implement :meth:`check` as a
+    generator of findings. ``rationale`` ties the rule to the design or
+    paper invariant it protects — it feeds ``repro lint --list-rules`` and
+    the rule table in ``docs/static-analysis.md``.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def call_target(ctx: FileContext, node: ast.Call) -> str | None:
+    """Resolved dotted name of a call's callee, or ``None``."""
+    return ctx.resolve(node.func)
+
+
+def keyword_value(node: ast.Call, name: str) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def has_double_star(node: ast.Call) -> bool:
+    return any(keyword.arg is None for keyword in node.keywords)
+
+
+def is_const_true(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def first_argument(node: ast.Call, keyword: str | None = None) -> ast.expr | None:
+    """First positional argument, falling back to a named keyword."""
+    if node.args and not isinstance(node.args[0], ast.Starred):
+        return node.args[0]
+    if keyword is not None:
+        return keyword_value(node, keyword)
+    return None

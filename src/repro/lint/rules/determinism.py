@@ -1,0 +1,206 @@
+"""DET rules: sources of nondeterminism that must never reach the sim.
+
+The simulator's contract (DESIGN.md, ``docs/robustness.md``) is that one
+seed fully determines every artifact: schedules, metrics, traces, chaos
+reports. These rules catch the three ways that contract historically
+breaks — ambient entropy, hash-ordered iteration, and unsorted JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import DETERMINISTIC_LAYERS, FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import register
+from repro.lint.rules.base import (
+    Rule,
+    call_target,
+    has_double_star,
+    keyword_value,
+)
+
+#: Fully-qualified callables that read wall clocks or process entropy.
+AMBIENT_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Module prefixes that are nondeterministic wholesale.
+AMBIENT_PREFIXES = ("secrets.",)
+
+#: Files allowed to construct the world's root RNG without a seed literal
+#: (they *are* the seed boundary).
+UNSEEDED_RNG_BOUNDARY = ("sim/world.py", "sim/kernel.py")
+
+#: Writers exempt from DET004 — none today; listed for symmetry with the
+#: other allowlists so the exemption mechanism is in one obvious place.
+JSON_WRITER_EXEMPT: tuple[str, ...] = ()
+
+
+def _in_deterministic_layer(ctx: FileContext) -> bool:
+    return ctx.layer in DETERMINISTIC_LAYERS
+
+
+@register
+class AmbientNondeterminism(Rule):
+    """DET001: ambient entropy/clock calls inside deterministic layers."""
+
+    rule_id = "DET001"
+    summary = "ambient RNG/clock call in a deterministic layer"
+    rationale = (
+        "Simulation layers (sim/, core/, net/, chaos/, election/, cluster/) "
+        "must draw randomness and time from the injected world (kernel RNG "
+        "streams, virtual clock). One ambient call desynchronizes replicas "
+        "and breaks seed-replayability — the exact failure mode §3.3 exists "
+        "to prevent."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_deterministic_layer(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_target(ctx, node)
+            if target is None:
+                continue
+            ambient = (
+                target in AMBIENT_CALLS
+                or target.startswith(AMBIENT_PREFIXES)
+                or (
+                    target.startswith("random.")
+                    and target != "random.Random"
+                )
+            )
+            if ambient:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"ambient nondeterministic call {target}() in layer "
+                    f"'{ctx.layer}'; inject an RNG/clock from the world instead",
+                )
+
+
+@register
+class UnseededRng(Rule):
+    """DET002: ``random.Random()`` constructed without a seed."""
+
+    rule_id = "DET002"
+    summary = "unseeded random.Random() outside the world boundary"
+    rationale = (
+        "Every RNG stream is derived from the run seed (e.g. "
+        "Random(f'{seed}/link/{src}->{dst}')); an unseeded instance falls "
+        "back to OS entropy and silently forks the simulation from its seed."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel.endswith(UNSEEDED_RNG_BOUNDARY):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_target(ctx, node) != "random.Random":
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random() without a seed draws OS entropy; derive "
+                    "the stream from the run seed (Random(f'{seed}/...'))",
+                )
+
+
+def _is_set_like(node: ast.expr) -> bool:
+    """Conservatively: does this expression certainly produce a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_like(node.left) or _is_set_like(node.right)
+    if isinstance(node, ast.IfExp):
+        return _is_set_like(node.body) or _is_set_like(node.orelse)
+    return False
+
+
+@register
+class HashOrderIteration(Rule):
+    """DET003: iterating a set expression without ``sorted(...)``."""
+
+    rule_id = "DET003"
+    summary = "iteration over a set without sorted()"
+    rationale = (
+        "Set iteration order depends on PYTHONHASHSEED. When the loop body "
+        "emits messages, builds insertion-ordered dicts, or writes output, "
+        "that order leaks into artifacts that must be byte-identical; "
+        "wrap the expression in sorted(...)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        iterables: list[ast.expr] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(generator.iter for generator in node.generators)
+        for expr in iterables:
+            if _is_set_like(expr):
+                yield self.finding(
+                    ctx,
+                    expr,
+                    "iteration order of a set is hash-seed dependent; wrap "
+                    "the iterable in sorted(...)",
+                )
+
+
+@register
+class UnsortedJson(Rule):
+    """DET004: ``json.dump(s)`` without ``sort_keys=True``."""
+
+    rule_id = "DET004"
+    summary = "json.dump/json.dumps without sort_keys=True"
+    rationale = (
+        "Exports (timelines, chaos summaries, chrome traces, lint reports) "
+        "are diffed byte-for-byte in CI and across PYTHONHASHSEED values; "
+        "dict key order must come from sort_keys, never from insertion "
+        "history."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel.endswith(JSON_WRITER_EXEMPT):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_target(ctx, node)
+            if target not in {"json.dump", "json.dumps"}:
+                continue
+            if has_double_star(node):
+                continue  # forwarded kwargs: cannot see sort_keys statically
+            value = keyword_value(node, "sort_keys")
+            if value is None or (isinstance(value, ast.Constant) and not value.value):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{target}(...) without sort_keys=True makes the output "
+                    "depend on dict insertion order",
+                )

@@ -1,0 +1,152 @@
+"""MSG rules: protocol messages must be immutable value objects.
+
+§3.3's contract is that replicas apply exactly the value the leader chose.
+A message that can be mutated after construction — or mutated by a
+receiving handler — silently forks replica state, which is precisely the
+nondeterminism leak Cachin et al. identify as the failure mode of this
+protocol family.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import register
+from repro.lint.rules.base import Rule, is_const_true, keyword_value
+
+#: Layers whose dataclasses are checked (where messages are defined).
+MESSAGE_LAYERS = frozenset({"core", "net"})
+
+#: Handler naming convention: ``on_*`` / ``_on_*`` / ``handle_*``.
+_HANDLER_RE = re.compile(r"^_?(on|handle)_")
+
+#: Docstring convention marking a message class outside ``messages.py``:
+#: the first line names sender and receiver, e.g. "Replica -> leader: ...".
+_DIRECTION_RE = re.compile(r"\S\s*->\s*\S")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "dataclass":
+            return decorator
+        if (
+            isinstance(decorator, ast.Call)
+            and isinstance(decorator.func, ast.Name)
+            and decorator.func.id == "dataclass"
+        ):
+            return decorator
+    return None
+
+
+def _is_message_class(ctx: FileContext, node: ast.ClassDef) -> bool:
+    if ctx.rel.endswith("messages.py"):
+        return True
+    docstring = ast.get_docstring(node)
+    if not docstring:
+        return False
+    return bool(_DIRECTION_RE.search(docstring.splitlines()[0]))
+
+
+@register
+class MutableMessageDataclass(Rule):
+    """MSG001: message dataclasses must be ``frozen=True, slots=True``."""
+
+    rule_id = "MSG001"
+    summary = "message dataclass not @dataclass(frozen=True, slots=True)"
+    rationale = (
+        "Messages cross replica boundaries; freezing makes post-send "
+        "mutation a TypeError instead of a state divergence, and slots "
+        "block typo-attributes from riding along. Applies to every "
+        "dataclass in a messages.py module and to any core/net dataclass "
+        "whose docstring declares a 'sender -> receiver' direction."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.layer not in MESSAGE_LAYERS:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None or not _is_message_class(ctx, node):
+                continue
+            missing = []
+            if not (
+                isinstance(decorator, ast.Call)
+                and is_const_true(keyword_value(decorator, "frozen"))
+            ):
+                missing.append("frozen=True")
+            if not (
+                isinstance(decorator, ast.Call)
+                and is_const_true(keyword_value(decorator, "slots"))
+            ):
+                missing.append("slots=True")
+            if missing:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"message dataclass {node.name} must declare "
+                    f"{' and '.join(missing)} on @dataclass",
+                )
+
+
+@register
+class HandlerMutatesMessage(Rule):
+    """MSG002: handlers must not assign attributes on received messages."""
+
+    rule_id = "MSG002"
+    summary = "attribute assignment on a handler parameter"
+    rationale = (
+        "A message object is shared: the in-memory transport delivers the "
+        "same instance to every local recipient, and replay relies on "
+        "messages staying exactly as sent. Handlers derive new values; "
+        "they never write back into their inputs."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _HANDLER_RE.match(node.name):
+                continue
+            params = {
+                arg.arg
+                for arg in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                )
+                if arg.arg not in {"self", "cls"}
+            }
+            if not params:
+                continue
+            yield from self._check_body(ctx, node, params)
+
+    def _check_body(
+        self, ctx: FileContext, func: ast.AST, params: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                root = target
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(root, ast.Name)
+                    and root.id in params
+                ):
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"handler assigns to attribute of received parameter "
+                        f"'{root.id}'; messages are immutable once sent",
+                    )

@@ -1,0 +1,83 @@
+"""OBS rules: observability conventions that keep artifacts greppable.
+
+``docs/observability.md`` documents every instrument by its dotted name;
+reports and CI assertions grep for those names. That only works while
+names are statically visible at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import register
+from repro.lint.rules.base import Rule, first_argument
+
+#: Registry lookup methods whose first argument is an instrument name.
+INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: The registry itself composes names from prefixes; it is the one place
+#: allowed to pass computed names through.
+EXEMPT_FILES = ("obs/registry.py",)
+
+#: A full literal name: lowercase dot.separated segments.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: The literal head of an f-string name: dotted segments ending in a dot,
+#: so the static prefix (msg.send., proc., fault.) stays greppable even
+#: when the tail is dynamic (message type names, fault kinds).
+_HEAD_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*\.$")
+
+
+def _name_argument_ok(arg: ast.expr) -> bool:
+    if isinstance(arg, ast.Constant):
+        return isinstance(arg.value, str) and bool(_NAME_RE.match(arg.value))
+    if isinstance(arg, ast.JoinedStr):
+        values = arg.values
+        return (
+            bool(values)
+            and isinstance(values[0], ast.Constant)
+            and isinstance(values[0].value, str)
+            and bool(_HEAD_RE.match(values[0].value))
+        )
+    return False
+
+
+@register
+class MetricNameConvention(Rule):
+    """OBS001: instrument names must be statically greppable literals."""
+
+    rule_id = "OBS001"
+    summary = "metric name is not a dot.separated literal (or literal-headed f-string)"
+    rationale = (
+        "docs/observability.md and the report layer's conventions "
+        "(msg.send.<Type>, proc.<pid>.<rest>) are contracts: a name that "
+        "is not a literal — or an f-string without a literal dotted head — "
+        "cannot be grepped, documented, or asserted on in CI."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel.endswith(EXEMPT_FILES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in INSTRUMENT_METHODS
+            ):
+                continue
+            arg = first_argument(node, keyword="name")
+            if arg is None:
+                continue
+            if not _name_argument_ok(arg):
+                yield self.finding(
+                    ctx,
+                    arg,
+                    f"instrument name passed to .{func.attr}() must be a "
+                    "lowercase dot.separated string literal (f-strings need "
+                    "a literal dotted head like f\"msg.send.{...}\")",
+                )

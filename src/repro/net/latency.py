@@ -14,7 +14,7 @@ from __future__ import annotations
 import abc
 import math
 import random
-from typing import Sequence
+from collections.abc import Sequence
 
 
 class LatencyModel(abc.ABC):

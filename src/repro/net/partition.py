@@ -8,7 +8,7 @@ partitioning only the replica set while leaving clients connected).
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import ConfigError
 from repro.types import ProcessId

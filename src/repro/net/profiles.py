@@ -41,8 +41,8 @@ geographically sensible values.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
 
 from repro.net.latency import LogNormalLatency
 from repro.net.link import LinkSpec
@@ -187,7 +187,7 @@ def _wan_builder(replicas: Sequence[ProcessId], clients: Sequence[ProcessId]) ->
         topo.place(pid, WAN_CLIENT_SITES[index % len(WAN_CLIENT_SITES)])
     for (a, b), oneway in WAN_LATENCY.items():
         topo.set_link(a, b, _lognormal_spec(oneway, WAN_SIGMA))
-    for site in set(WAN_REPLICA_SITES) | set(WAN_CLIENT_SITES):
+    for site in sorted(set(WAN_REPLICA_SITES) | set(WAN_CLIENT_SITES)):
         topo.set_intra(site, _lognormal_spec(0.3e-3, WAN_SIGMA))
     return topo
 

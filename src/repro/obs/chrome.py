@@ -25,8 +25,9 @@ matched begin/end pairs (both duration and async).
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any
 
 from repro.obs.spans import Span, SpanStore
 
@@ -79,21 +80,26 @@ def chrome_events(store: SpanStore, horizon: float | None = None) -> list[dict[s
 
     events: list[dict[str, Any]] = []
 
+    def pop_one(
+        stack: list[tuple[Span, float, bool]],
+        track_events: list[dict[str, Any]],
+        pid: int,
+        tid: int,
+    ) -> None:
+        span, end, _is_open = stack.pop()
+        track_events.append({
+            "name": span.name, "ph": "E", "pid": pid, "tid": tid,
+            "ts": end * _US,
+        })
+
     for (pid, tid), members in tracks.items():
         members.sort(key=lambda e: (e[0].start, -e[1], e[0].span_id))
         track_events: list[dict[str, Any]] = []
         stack: list[tuple[Span, float, bool]] = []
 
-        def pop_one() -> None:
-            span, end, is_open = stack.pop()
-            track_events.append({
-                "name": span.name, "ph": "E", "pid": pid, "tid": tid,
-                "ts": end * _US,
-            })
-
         for span, end, is_open in members:
             while stack and stack[-1][1] <= span.start:
-                pop_one()
+                pop_one(stack, track_events, pid, tid)
             if stack and stack[-1][1] < end:
                 # Partial overlap with the enclosing span: duration events
                 # cannot express this, so this span goes async instead.
@@ -106,7 +112,7 @@ def chrome_events(store: SpanStore, horizon: float | None = None) -> list[dict[s
                 "args": _span_args(span, is_open),
             })
         while stack:
-            pop_one()
+            pop_one(stack, track_events, pid, tid)
         events.extend(track_events)
 
     for span, end, is_open in async_spans:
@@ -138,7 +144,8 @@ def export_chrome(
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs.chrome", "clock": "virtual"},
     }
-    path.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    # sort_keys keeps exports byte-identical across PYTHONHASHSEED values.
+    path.write_text(json.dumps(document, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
 

@@ -24,7 +24,7 @@ perturb a simulation schedule (the determinism regression test in
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 #: Default latency buckets, seconds: ~geometric 10µs .. 10s (the paper's
 #: measurements span 0.18ms LAN RRTs to ~100ms WAN transactions).
@@ -146,8 +146,9 @@ class Histogram:
         hist.counts = list(snap["counts"])  # type: ignore[arg-type]
         hist.count = int(snap["count"])  # type: ignore[arg-type]
         hist.total = float(snap["total"])  # type: ignore[arg-type]
-        hist.minimum = float(snap["min"]) if snap["min"] is not None else float("inf")  # type: ignore[arg-type]
-        hist.maximum = float(snap["max"]) if snap["max"] is not None else float("-inf")  # type: ignore[arg-type]
+        raw_min, raw_max = snap["min"], snap["max"]
+        hist.minimum = float("inf") if raw_min is None else float(raw_min)
+        hist.maximum = float("-inf") if raw_max is None else float(raw_max)
         return hist
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

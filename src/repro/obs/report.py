@@ -9,7 +9,7 @@ output, so report blocks paste straight into EXPERIMENTS.md. Powers the
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.timeline import RunExport, registry_records
@@ -148,7 +148,7 @@ def compare_table(a: RunExport, b: RunExport) -> str:
             continue
         delta = f"{(sent_b - sent_a) / sent_a * 100:+.1f}%" if sent_a else "new"
         rows.append([type_name, sent_a, sent_b, sent_b - sent_a, delta])
-    header = "Message counts: A = {} | B = {}".format(a.path or "run A", b.path or "run B")
+    header = f"Message counts: A = {a.path or 'run A'} | B = {b.path or 'run B'}"
     return header + "\n" + format_table(["message", "A sent", "B sent", "diff", "delta"], rows)
 
 
@@ -180,12 +180,10 @@ def render_report(export: RunExport) -> str:
     result = export.result
     if result:
         blocks.append(
-            "totals: requests={} messages={} bytes={} throughput={:.1f}/s".format(
-                result.get("total_requests"),
-                result.get("total_messages"),
-                result.get("total_bytes"),
-                result.get("throughput") or 0.0,
-            )
+            f"totals: requests={result.get('total_requests')} "
+            f"messages={result.get('total_messages')} "
+            f"bytes={result.get('total_bytes')} "
+            f"throughput={result.get('throughput') or 0.0:.1f}/s"
         )
     return "\n\n".join(blocks)
 

@@ -17,8 +17,9 @@ silently discarding them — an orphan is evidence, not noise.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.types import ProcessId
 

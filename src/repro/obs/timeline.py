@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import json
 import warnings
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, TYPE_CHECKING, Any, Iterable, Iterator
+from typing import Any, IO, TYPE_CHECKING
 
 from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.spans import SpanStore

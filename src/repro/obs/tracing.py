@@ -31,8 +31,9 @@ max(E, m)`` for X-Paxos reads) on a calibrated deployment profile.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.analysis.model import (
     LatencyModelInputs,

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import abc
 import random
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import ServiceError
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import Any
 
 from repro.types import ProcessId
 

@@ -7,8 +7,9 @@ read request under X-Paxos" — and by humans to debug schedules.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any
 
 from repro.types import ProcessId
 

@@ -21,7 +21,8 @@ deliveries from before the crash.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Protocol as TypingProtocol
+from collections.abc import Callable
+from typing import Any, Protocol as TypingProtocol
 
 from repro.errors import SimulationError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry

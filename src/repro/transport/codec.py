@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pickle
 import struct
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 _HEADER = struct.Struct(">I")
 

@@ -18,7 +18,8 @@ import itertools
 import random
 import threading
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import TransportError
 from repro.net.latency import LatencyModel

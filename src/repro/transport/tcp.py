@@ -19,7 +19,8 @@ import asyncio
 import random
 import threading
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import TransportError
 from repro.sim.process import Env, Process, TimerHandle

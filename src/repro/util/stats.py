@@ -7,8 +7,8 @@ when inspecting tail latency.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 from scipy import stats as _scipy_stats

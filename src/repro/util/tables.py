@@ -6,7 +6,7 @@ helpers keep that output aligned and copy-pasteable into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -15,7 +15,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
     lines = []
     for idx, row in enumerate(cells):
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)).rstrip())
         if idx == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""The linter's acceptance test is the repo itself.
+
+* the shipped ``src/`` tree is clean (under the shipped, empty baseline);
+* seeding a DET001 violation into a copy of ``core/replica.py`` turns the
+  scan red and the report names the rule, file and line;
+* two full self-scans are byte-identical across PYTHONHASHSEED values.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Baseline, LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+class TestSelfScan:
+    def test_src_is_clean(self):
+        result = LintEngine().check_paths([SRC])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert result.files > 90  # the whole tree was actually scanned
+
+    def test_src_is_clean_under_shipped_baseline(self, capsys):
+        assert BASELINE.exists(), "lint-baseline.json must ship with the repo"
+        baseline = Baseline.load(BASELINE)
+        assert baseline.fingerprints == {}, (
+            "the shipped baseline must stay empty: fix findings, do not bank them"
+        )
+        code = main(["lint", str(SRC), "--baseline", str(BASELINE)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_cli_exits_zero_on_shipped_tree(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestSeededViolation:
+    @pytest.fixture
+    def tainted_tree(self, tmp_path):
+        """A copy of the real core/ with a wall-clock read spliced into
+        replica.py — the exact leak DET001 exists to catch."""
+        tree = tmp_path / "repro" / "core"
+        tree.parent.mkdir()
+        shutil.copytree(SRC / "repro" / "core", tree)
+        target = tree / "replica.py"
+        source = target.read_text(encoding="utf-8")
+        source += (
+            "\n\nimport time\n\n\n"
+            "def _leaky_timestamp() -> float:\n"
+            "    return time.time()\n"
+        )
+        target.write_text(source, encoding="utf-8")
+        line = source.count("\n")  # the return is the last line
+        return tmp_path, line
+
+    def test_seeded_det001_fails_scan_naming_rule_file_line(
+        self, tainted_tree, capsys
+    ):
+        root, line = tainted_tree
+        assert main(["lint", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert f"repro/core/replica.py:{line}" in out
+        assert "time.time" in out
+
+    def test_seeded_violation_is_suppressible_with_reason(self, tainted_tree, capsys):
+        root, _ = tainted_tree
+        target = root / "repro" / "core" / "replica.py"
+        source = target.read_text(encoding="utf-8").replace(
+            "return time.time()",
+            "return time.time()  # lint: ignore[DET001] -- test fixture",
+        )
+        target.write_text(source, encoding="utf-8")
+        assert main(["lint", str(root)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestSelfScanDeterminism:
+    def test_full_scan_byte_identical_across_hash_seeds(self):
+        outputs = []
+        for seed in ("0", "4242"):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "lint", str(SRC),
+                 "--format", "json"],
+                capture_output=True,
+                env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed},
+            )
+            assert proc.returncode == 0, proc.stderr.decode()
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        document = json.loads(outputs[0])
+        assert document["summary"]["findings"] == 0
