@@ -12,10 +12,28 @@ benchmarks pass their structured rows/series via ``data``.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Any
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_workers() -> int:
+    """Worker processes for grid benchmarks (``REPRO_BENCH_WORKERS``).
+
+    Defaults to 1 (serial, in-process) so plain ``pytest benchmarks/``
+    stays deterministic and dependency-free. Grid results are identical
+    for any worker count — every run's seed is part of its spec.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def grid_map(task: str, param_list: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Map one sweep task over a parameter grid, honoring ``bench_workers``."""
+    from repro.parallel import pmap
+
+    return pmap(task, param_list, workers=bench_workers())
 
 
 def emit(name: str, text: str, data: Any = None) -> str:

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, grid_map
 from repro.analysis.report import series_comparison
-from repro.cluster.scenarios import throughput_scenario
 
 CLIENTS = (1, 2, 4, 8, 16)
 KINDS = ("read", "write", "original")
@@ -19,13 +18,17 @@ TOTAL_REQUESTS = 1000  # §4: "each client sends exactly 1000/c requests"
 
 
 def compute():
+    params = [
+        {"profile": "sysnet", "kind": kind, "n_clients": c,
+         "total_requests": TOTAL_REQUESTS, "seed": 3}
+        for c in CLIENTS
+        for kind in KINDS
+    ]
+    results = iter(grid_map("throughput", params))
     series = {kind: [] for kind in KINDS}
-    for c in CLIENTS:
+    for _c in CLIENTS:
         for kind in KINDS:
-            result = throughput_scenario(
-                "sysnet", kind, c, total_requests=TOTAL_REQUESTS, seed=3
-            )
-            series[kind].append(result.throughput)
+            series[kind].append(next(results)["throughput"])
     text = series_comparison(
         "Fig. 5 — throughput on Sysnet (req/s); paper: original > read >= 1.13*write",
         "clients",

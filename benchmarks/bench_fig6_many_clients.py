@@ -11,20 +11,25 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, grid_map
 from repro.analysis.report import series_comparison
-from repro.cluster.scenarios import throughput_scenario
 
 CLIENTS = (8, 16, 32, 64, 128)
 KINDS = ("read", "write", "original")
 
 
 def compute():
+    params = [
+        {"profile": "sysnet", "kind": kind, "n_clients": c,
+         "total_requests": 1000, "seed": 3}
+        for c in CLIENTS
+        for kind in KINDS
+    ]
+    results = iter(grid_map("throughput", params))
     series = {kind: [] for kind in KINDS}
-    for c in CLIENTS:
+    for _c in CLIENTS:
         for kind in KINDS:
-            result = throughput_scenario("sysnet", kind, c, total_requests=1000, seed=3)
-            series[kind].append(result.throughput)
+            series[kind].append(next(results)["throughput"])
     text = series_comparison(
         "Fig. 6 — throughput, 8-128 clients; paper: read/write peak at 32-64",
         "clients",

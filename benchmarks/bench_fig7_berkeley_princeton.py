@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, grid_map
 from repro.analysis.report import comparison_table, series_comparison
-from repro.cluster.scenarios import rrt_scenario, throughput_scenario
 from repro.net.profiles import berkeley_princeton
 
 PAPER = berkeley_princeton().paper_rrt
@@ -21,19 +20,27 @@ KINDS = ("read", "write", "original")
 
 
 def compute():
+    rrt_results = grid_map(
+        "rrt",
+        [{"profile": "berkeley_princeton", "kind": kind, "samples": 80, "seed": 1}
+         for kind in KINDS],
+    )
     rows = []
     rrts = {}
-    for kind in KINDS:
-        result = rrt_scenario("berkeley_princeton", kind, samples=80, seed=1)
-        rrts[kind] = result.rrt.mean
-        rows.append((kind, PAPER[kind], result.rrt.mean))
+    for kind, result in zip(KINDS, rrt_results, strict=True):
+        rrts[kind] = result["rrt"]["mean"]
+        rows.append((kind, PAPER[kind], rrts[kind]))
+    params = [
+        {"profile": "berkeley_princeton", "kind": kind, "n_clients": c,
+         "total_requests": 480, "seed": 3}
+        for c in CLIENTS
+        for kind in KINDS
+    ]
+    results = iter(grid_map("throughput", params))
     series = {kind: [] for kind in KINDS}
-    for c in CLIENTS:
+    for _c in CLIENTS:
         for kind in KINDS:
-            result = throughput_scenario(
-                "berkeley_princeton", kind, c, total_requests=480, seed=3
-            )
-            series[kind].append(result.throughput)
+            series[kind].append(next(results)["throughput"])
     text = comparison_table("RRT Berkeley->Princeton (paper §4.1)", rows)
     text += "\n\n" + series_comparison(
         "Fig. 7 — throughput Berkeley->Princeton (req/s); paper: curves coincide",

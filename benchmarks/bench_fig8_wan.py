@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, grid_map
 from repro.analysis.report import comparison_table, series_comparison
-from repro.cluster.scenarios import rrt_scenario, throughput_scenario
 from repro.net.profiles import wan
 
 PAPER = wan().paper_rrt
@@ -22,17 +21,27 @@ KINDS = ("read", "write", "original")
 
 
 def compute():
+    rrt_results = grid_map(
+        "rrt",
+        [{"profile": "wan", "kind": kind, "samples": 80, "seed": 1}
+         for kind in KINDS],
+    )
     rows = []
     rrts = {}
-    for kind in KINDS:
-        result = rrt_scenario("wan", kind, samples=80, seed=1)
-        rrts[kind] = result.rrt.mean
-        rows.append((kind, PAPER[kind], result.rrt.mean))
+    for kind, result in zip(KINDS, rrt_results, strict=True):
+        rrts[kind] = result["rrt"]["mean"]
+        rows.append((kind, PAPER[kind], rrts[kind]))
+    params = [
+        {"profile": "wan", "kind": kind, "n_clients": c,
+         "total_requests": 480, "seed": 3}
+        for c in CLIENTS
+        for kind in KINDS
+    ]
+    results = iter(grid_map("throughput", params))
     series = {kind: [] for kind in KINDS}
-    for c in CLIENTS:
+    for _c in CLIENTS:
         for kind in KINDS:
-            result = throughput_scenario("wan", kind, c, total_requests=480, seed=3)
-            series[kind].append(result.throughput)
+            series[kind].append(next(results)["throughput"])
     text = comparison_table("RRT on WAN (paper §4.1)", rows)
     text += "\n\n" + series_comparison(
         "Fig. 8 — throughput on WAN (req/s); paper: read (X-Paxos) beats write",

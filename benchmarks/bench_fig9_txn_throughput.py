@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, grid_map
 from repro.analysis.report import series_comparison
-from repro.cluster.scenarios import txn_throughput_scenario
 from repro.util.tables import format_table
 
 CLIENTS = (1, 2, 4, 8, 16)
@@ -21,11 +20,17 @@ TOTAL_TXNS = 400
 
 
 def compute(k: int):
+    params = [
+        {"mode": mode, "requests_per_txn": k, "n_clients": c,
+         "total_txns": TOTAL_TXNS, "seed": 5}
+        for c in CLIENTS
+        for mode in MODES
+    ]
+    results = iter(grid_map("txn_throughput", params))
     series = {mode: [] for mode in MODES}
-    for c in CLIENTS:
+    for _c in CLIENTS:
         for mode in MODES:
-            result = txn_throughput_scenario(mode, k, c, total_txns=TOTAL_TXNS, seed=5)
-            series[mode].append(result.step_throughput)
+            series[mode].append(next(results)["step_throughput"])
     text = series_comparison(
         f"Fig. 9{'a' if k == 3 else 'b'} — {k}-request transaction throughput (txn/s)",
         "clients",

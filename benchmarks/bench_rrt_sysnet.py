@@ -6,6 +6,8 @@ Paper: original 0.181 ms (±0.002), read 0.263 ms (±0.02), write 0.338 ms
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from benchmarks._util import emit
@@ -20,8 +22,11 @@ SAMPLES = 400
 def compute():
     rows = []
     measured = {}
+    wall = {}
     for kind in ("original", "read", "write"):
+        start = time.perf_counter()
         result = rrt_scenario("sysnet", kind, samples=SAMPLES, seed=1)
+        wall[kind] = time.perf_counter() - start
         measured[kind] = result.rrt
         rows.append((kind, PAPER[kind], result.rrt.mean))
     reduction = percent_change(measured["write"].mean, measured["read"].mean)
@@ -42,6 +47,12 @@ def compute():
             "n": summary.n,
         }
         for kind, summary in measured.items()
+    }
+    # Host-side wall-clock per scenario run — the serial hot-path perf
+    # record (never compared against simulated results; see tests/perf/).
+    data["host"] = {
+        "wall_s": {kind: round(value, 4) for kind, value in wall.items()},
+        "total_wall_s": round(sum(wall.values()), 4),
     }
     return text, measured, data
 

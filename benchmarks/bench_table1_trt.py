@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, grid_map
 from repro.analysis.report import comparison_table
-from repro.cluster.scenarios import txn_rrt_scenario
 from repro.util.tables import format_table
 
 PAPER_MS = {
@@ -26,26 +25,31 @@ SAMPLES = 200
 
 
 def compute():
+    cells = list(PAPER_MS.items())
+    results = grid_map(
+        "txn_rrt",
+        [{"mode": mode, "requests_per_txn": k, "samples": SAMPLES, "seed": 2}
+         for (mode, k), _ in cells],
+    )
     measured = {}
     rows = []
-    for (mode, k), paper_ms in PAPER_MS.items():
-        result = txn_rrt_scenario(mode, k, samples=SAMPLES, seed=2)
-        measured[(mode, k)] = result.trt
-        rows.append((f"{mode} {k}-req", paper_ms * 1e-3, result.trt.mean))
+    for ((mode, k), paper_ms), result in zip(cells, results, strict=True):
+        measured[(mode, k)] = result["trt"]
+        rows.append((f"{mode} {k}-req", paper_ms * 1e-3, result["trt"]["mean"]))
     text = comparison_table("Table 1 — transaction response time", rows)
 
     reduction_rows = []
     for k in (3, 5):
         for base in ("read_write", "write_only"):
-            baseline = measured[(base, k)].mean
-            optimized = measured[("optimized", k)].mean
+            baseline = measured[(base, k)]["mean"]
+            optimized = measured[("optimized", k)]["mean"]
             reduction_rows.append(
                 [f"vs {base} {k}-req", f"{(baseline - optimized) / baseline * 100:.0f}%"]
             )
     text += "\n\nT-Paxos TRT reduction (paper: 28%/34% at 3-req, 31%/39% at 5-req)\n"
     text += format_table(["baseline", "reduction"], reduction_rows)
     text += "\n\n99% CIs: " + ", ".join(
-        f"{mode}-{k}: ±{s.ci99 * 1e3:.3f} ms" for (mode, k), s in measured.items()
+        f"{mode}-{k}: ±{s['ci99'] * 1e3:.3f} ms" for (mode, k), s in measured.items()
     )
     return text, measured
 
@@ -55,4 +59,4 @@ def test_table1_trt(once):
     text, measured = once(compute)
     emit("table1_trt", text)
     for key, paper_ms in PAPER_MS.items():
-        assert measured[key].mean * 1e3 == pytest.approx(paper_ms, rel=0.08)
+        assert measured[key]["mean"] * 1e3 == pytest.approx(paper_ms, rel=0.08)

@@ -15,14 +15,9 @@ from collections.abc import Sequence
 
 from repro import __version__
 from repro.analysis.report import percent_change
-from repro.cluster.scenarios import (
-    rrt_scenario,
-    throughput_scenario,
-    txn_rrt_scenario,
-    txn_throughput_scenario,
-)
 from repro.lint.cli import add_lint_parser, lint_command
 from repro.net.profiles import PROFILES, get_profile
+from repro.parallel import pmap
 
 KINDS = ("original", "read", "write")
 
@@ -50,22 +45,29 @@ def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     return "\n".join(lines)
 
 
-def _rrt_section(quick: bool) -> str:
+def _rrt_section(quick: bool, workers: int = 1) -> str:
     samples = 60 if quick else 300
+    profiles = ("sysnet", "berkeley_princeton", "wan")
+    params = [
+        {"profile": name, "kind": kind, "samples": samples, "seed": 1}
+        for name in profiles
+        for kind in KINDS
+    ]
+    results = iter(pmap("rrt", params, workers=workers))
     sections = []
-    for name in ("sysnet", "berkeley_princeton", "wan"):
+    for name in profiles:
         profile = get_profile(name)
         rows = []
         for kind in KINDS:
-            result = rrt_scenario(name, kind, samples=samples, seed=1)
+            rrt = next(results)["rrt"]
             paper = profile.paper_rrt[kind]
             rows.append(
                 [
                     kind,
                     f"{paper * 1e3:.3f}",
-                    f"{result.rrt.mean * 1e3:.3f}",
-                    f"±{result.rrt.ci99 * 1e3:.4f}",
-                    f"{percent_change(paper, result.rrt.mean):+.1f}%",
+                    f"{rrt['mean'] * 1e3:.3f}",
+                    f"±{rrt['ci99'] * 1e3:.4f}",
+                    f"{percent_change(paper, rrt['mean']):+.1f}%",
                 ]
             )
         sections.append(
@@ -77,21 +79,29 @@ def _rrt_section(quick: bool) -> str:
     return "\n\n".join(sections)
 
 
-def _throughput_section(quick: bool) -> str:
+def _throughput_section(quick: bool, workers: int = 1) -> str:
     total = 400 if quick else 1000
-    sections = []
-    for name, clients, figure in (
+    figures = (
         ("sysnet", (1, 2, 4, 8, 16), "Fig. 5"),
         ("sysnet", (8, 16, 32, 64, 128), "Fig. 6"),
         ("berkeley_princeton", (1, 2, 4, 8, 16), "Fig. 7"),
         ("wan", (1, 2, 4, 8, 16), "Fig. 8"),
-    ):
+    )
+    params = [
+        {"profile": name, "kind": kind, "n_clients": c,
+         "total_requests": total, "seed": 3}
+        for name, clients, _ in figures
+        for c in clients
+        for kind in ("read", "write", "original")
+    ]
+    results = iter(pmap("throughput", params, workers=workers))
+    sections = []
+    for name, clients, figure in figures:
         rows = []
         for c in clients:
-            row = [c]
-            for kind in ("read", "write", "original"):
-                result = throughput_scenario(name, kind, c, total_requests=total, seed=3)
-                row.append(f"{result.throughput:.0f}")
+            row: list[object] = [c]
+            for _kind in ("read", "write", "original"):
+                row.append(f"{next(results)['throughput']:.0f}")
             rows.append(row)
         sections.append(
             f"### {figure} — throughput on {name} (requests/s)\n\n"
@@ -100,20 +110,26 @@ def _throughput_section(quick: bool) -> str:
     return "\n\n".join(sections)
 
 
-def _table1_section(quick: bool) -> str:
+def _table1_section(quick: bool, workers: int = 1) -> str:
     samples = 60 if quick else 200
+    cells = list(TABLE1_PAPER_MS.items())
+    params = [
+        {"mode": mode, "requests_per_txn": k, "samples": samples, "seed": 2}
+        for (mode, k), _ in cells
+    ]
+    results = pmap("txn_rrt", params, workers=workers)
     rows = []
     measured = {}
-    for (mode, k), paper_ms in TABLE1_PAPER_MS.items():
-        result = txn_rrt_scenario(mode, k, samples=samples, seed=2)
-        measured[(mode, k)] = result.trt.mean
+    for ((mode, k), paper_ms), result in zip(cells, results, strict=True):
+        trt = result["trt"]
+        measured[(mode, k)] = trt["mean"]
         rows.append(
             [
                 f"{mode} {k}-req",
                 f"{paper_ms:.2f}",
-                f"{result.trt.mean * 1e3:.2f}",
-                f"±{result.trt.ci99 * 1e3:.3f}",
-                f"{percent_change(paper_ms * 1e-3, result.trt.mean):+.1f}%",
+                f"{trt['mean'] * 1e3:.2f}",
+                f"±{trt['ci99'] * 1e3:.3f}",
+                f"{percent_change(paper_ms * 1e-3, trt['mean']):+.1f}%",
             ]
         )
     gains = []
@@ -131,25 +147,31 @@ def _table1_section(quick: bool) -> str:
     )
 
 
-def _fig9_section(quick: bool) -> str:
+def _fig9_section(quick: bool, workers: int = 1) -> str:
     total = 200 if quick else 400
+    modes = ("read_write", "write_only", "optimized")
+    params = [
+        {"mode": mode, "requests_per_txn": k, "n_clients": c,
+         "total_txns": total, "seed": 5}
+        for k in (3, 5)
+        for c in (1, 2, 4, 8, 16)
+        for mode in modes
+    ]
+    flat = iter(pmap("txn_throughput", params, workers=workers))
     sections = []
     for k in (3, 5):
         rows = []
-        for i, c in enumerate((1, 2, 4, 8, 16)):
-            results = {
-                mode: txn_throughput_scenario(mode, k, c, total_txns=total, seed=5)
-                for mode in ("read_write", "write_only", "optimized")
-            }
-            opt = results["optimized"].step_throughput
+        for c in (1, 2, 4, 8, 16):
+            results = {mode: next(flat)["step_throughput"] for mode in modes}
+            opt = results["optimized"]
             rows.append(
                 [
                     c,
-                    f"{results['read_write'].step_throughput:.0f}",
-                    f"{results['write_only'].step_throughput:.0f}",
+                    f"{results['read_write']:.0f}",
+                    f"{results['write_only']:.0f}",
                     f"{opt:.0f}",
-                    f"+{(opt / results['read_write'].step_throughput - 1) * 100:.0f}%",
-                    f"+{(opt / results['write_only'].step_throughput - 1) * 100:.0f}%",
+                    f"+{(opt / results['read_write'] - 1) * 100:.0f}%",
+                    f"+{(opt / results['write_only'] - 1) * 100:.0f}%",
                 ]
             )
         sections.append(
@@ -164,7 +186,7 @@ def _fig9_section(quick: bool) -> str:
     return "\n\n".join(sections)
 
 
-def build_experiments_report(quick: bool = False) -> str:
+def build_experiments_report(quick: bool = False, workers: int = 1) -> str:
     started = time.time()
     body = "\n\n".join(
         [
@@ -176,12 +198,12 @@ def build_experiments_report(quick: bool = False) -> str:
             " (orderings, crossovers, peaks) — absolute throughput depends on"
             " testbed constants the paper does not fully specify.",
             "## Request response time (§4.1)",
-            _rrt_section(quick),
+            _rrt_section(quick, workers),
             "## Throughput (Figs. 5-8)",
-            _throughput_section(quick),
+            _throughput_section(quick, workers),
             "## Transactions (§4.2)",
-            _table1_section(quick),
-            _fig9_section(quick),
+            _table1_section(quick, workers),
+            _fig9_section(quick, workers),
             "## Ablations",
             "Ablation benches (not in the paper's tables, called out in its text)"
             " live in `benchmarks/`: leader-switch sensitivity (§3.6), t > 1"
@@ -328,13 +350,44 @@ def chaos_command(args: argparse.Namespace) -> int:
         tracing=args.tracing,
         mutation=args.mutation,
     )
-    results = []
-    for seed in range(args.seed, args.seed + args.seeds):
-        result = run_chaos(seed, options, keep_cluster=args.tracing)
-        results.append(result)
-        if not result.ok and not args.quiet:
-            names = ",".join(sorted({v.invariant for v in result.violations}))
-            print(f"seed {seed}: VIOLATION ({names})", file=sys.stderr)
+    workers = args.workers
+    if workers > 1 and args.tracing:
+        # Traced trials keep their cluster for waterfall rendering, which
+        # cannot cross a process boundary; fall back to the serial path.
+        print("chaos: --tracing forces --workers 1", file=sys.stderr)
+        workers = 1
+    if workers > 1:
+        # Each spec carries its own seed, so sharding the sweep across
+        # workers cannot skew any trial's nemesis schedule.
+        from repro.parallel import RunSpec, SweepOptions, run_sweep
+
+        specs = [
+            RunSpec(
+                task="chaos_result",
+                key=f"chaos/seed={seed:06d}",
+                params={"seed": seed, "options": dataclasses.asdict(options)},
+            )
+            for seed in range(args.seed, args.seed + args.seeds)
+        ]
+        sweep = run_sweep(specs, SweepOptions(workers=workers))
+        for record in sweep.failed():
+            print(f"chaos: {record.spec.key}: {record.error}", file=sys.stderr)
+        if not sweep.ok:
+            return 2
+        results = [record.result for record in sweep.records]
+        if not args.quiet:
+            for result in results:
+                if not result.ok:
+                    names = ",".join(sorted({v.invariant for v in result.violations}))
+                    print(f"seed {result.seed}: VIOLATION ({names})", file=sys.stderr)
+    else:
+        results = []
+        for seed in range(args.seed, args.seed + args.seeds):
+            result = run_chaos(seed, options, keep_cluster=args.tracing)
+            results.append(result)
+            if not result.ok and not args.quiet:
+                names = ",".join(sorted({v.invariant for v in result.violations}))
+                print(f"seed {seed}: VIOLATION ({names})", file=sys.stderr)
 
     shrink_outcomes = []
     if args.shrink:
@@ -356,6 +409,66 @@ def chaos_command(args: argparse.Namespace) -> int:
             fh.write(dump_summary(to_summary(results, shrink_outcomes)))
         print(f"summary: {args.summary}")
     return 0 if all(r.ok for r in results) else 1
+
+
+def sweep_command(args: argparse.Namespace) -> int:
+    """Shard a run grid across worker processes and write the merged JSON.
+
+    The ``results`` section of the output is byte-identical for any
+    ``--workers`` value; wall-clock lives in the separate ``timing``
+    section (drop it entirely with ``--no-timing`` for diff-friendly
+    artifacts)."""
+    import os
+
+    from repro.parallel import (
+        SweepOptions,
+        calibration_grid,
+        canonical_json,
+        chaos_grid,
+        figures_grid,
+        merge_sweep,
+        run_sweep,
+        selftest_grid,
+    )
+
+    if args.grid == "chaos":
+        protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+        specs = chaos_grid(
+            seeds=args.seeds, first_seed=args.seed, protocols=protocols
+        )
+    elif args.grid == "figures":
+        specs = figures_grid(quick=args.quick)
+    elif args.grid == "selftest":
+        specs = selftest_grid(runs=args.seeds)
+    else:
+        specs = calibration_grid(samples=args.samples)
+
+    options = SweepOptions(
+        workers=args.workers, timeout=args.timeout, retries=args.retries
+    )
+    sweep = run_sweep(specs, options)
+    doc = merge_sweep(sweep, name=f"sweep_{args.grid}")
+    if args.no_timing:
+        del doc["timing"]
+
+    out = args.out or os.path.join(
+        "benchmarks", "results", f"BENCH_sweep_{args.grid}.json"
+    )
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(doc))
+
+    aggregate = doc["results"]["aggregate"]
+    print(
+        f"sweep {args.grid}: {aggregate['ok']}/{aggregate['total']} ok, "
+        f"workers={sweep.workers}, wall={sweep.wall:.2f}s"
+    )
+    for key in aggregate["failed"]:
+        print(f"  FAILED {key}", file=sys.stderr)
+    print(f"merged: {out}")
+    return 0 if sweep.ok else 1
 
 
 def report_command(args: argparse.Namespace) -> int:
@@ -389,6 +502,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     experiments.add_argument(
         "--quick", action="store_true", help="smaller sample counts (smoke run)"
+    )
+    experiments.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the run grid (default: 1, serial)",
     )
 
     sub.add_parser("profiles", help="list the calibrated deployment profiles")
@@ -483,12 +600,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="write the machine-readable JSON summary here")
     chaos.add_argument("--quiet", action="store_true",
                        help="no per-seed progress lines on stderr")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the seed sweep (default: 1)")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="shard a run grid across workers; deterministic merged JSON",
+    )
+    sweep.add_argument("--grid", required=True,
+                       choices=("chaos", "figures", "calibration", "selftest"),
+                       help="which run grid to execute")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default: 1, serial)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retries after a worker death/timeout (default: 1)")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="merged JSON path (default: "
+                            "benchmarks/results/BENCH_sweep_<grid>.json)")
+    sweep.add_argument("--no-timing", action="store_true",
+                       help="omit the host-dependent timing section")
+    sweep.add_argument("--seeds", type=int, default=20,
+                       help="[chaos/selftest grid] run count (default: 20)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="[chaos grid] first seed (default: 0)")
+    sweep.add_argument("--protocols", default="basic",
+                       help="[chaos grid] comma-separated protocols "
+                            "(default: basic)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="[figures grid] smaller sample counts")
+    sweep.add_argument("--samples", type=int, default=400,
+                       help="[calibration grid] samples per run (default: 400)")
 
     add_lint_parser(sub)
 
     args = parser.parse_args(argv)
     if args.command == "experiments":
-        print(build_experiments_report(quick=args.quick))
+        print(build_experiments_report(quick=args.quick, workers=args.workers))
         return 0
     if args.command == "profiles":
         for name, factory in PROFILES.items():
@@ -507,6 +656,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return report_command(args)
     if args.command == "chaos":
         return chaos_command(args)
+    if args.command == "sweep":
+        return sweep_command(args)
     if args.command == "lint":
         return lint_command(args)
     raise AssertionError("unreachable")

@@ -18,9 +18,11 @@ from functools import total_ordering
 from typing import ClassVar
 
 from repro.types import InstanceId, ProcessId
+from repro.util.fastpickle import fast_pickle
 
 
 @total_ordering
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Ballot:
     """One leader term: ``(round, leader)``, totally ordered."""
@@ -54,6 +56,7 @@ Ballot.ZERO = Ballot(-1, "")
 
 
 @total_ordering
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class ProposalNumber:
     """``(ballot, instance)``, ordered lexicographically (§3.3)."""

@@ -25,10 +25,12 @@ from typing import Any
 from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.requests import ClientRequest, RequestId
 from repro.core.state import StatePayload
+from repro.util.fastpickle import fast_pickle
 from repro.types import InstanceId, ProcessId, ReplyStatus
 
 
 # ------------------------------------------------------------------ proposals
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Proposal:
     """The value decided by one consensus instance: ``<req, state>`` (§3.3).
@@ -54,6 +56,7 @@ class Proposal:
 
 
 # --------------------------------------------------------------- accept phase
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Accept:
     """Leader -> all replicas: accept ``value`` for instance ``pn.instance``."""
@@ -62,6 +65,7 @@ class Accept:
     value: Proposal
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Accepted:
     """Replica -> leader: I accepted ``pn``."""
@@ -69,6 +73,7 @@ class Accepted:
     pn: ProposalNumber
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Nack:
     """Replica -> leader: your ballot is stale; I am promised to ``promised``."""
@@ -77,6 +82,7 @@ class Nack:
     promised: Ballot
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Chosen:
     """Leader -> all replicas: instance ``instance`` decided on ``value``."""
@@ -87,6 +93,7 @@ class Chosen:
 
 
 # -------------------------------------------------------------- prepare phase
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Prepare:
     """New leader -> all replicas (§3.3 recovery).
@@ -101,6 +108,7 @@ class Prepare:
     from_instance: InstanceId
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class PromiseEntry:
     """One accepted proposal reported in a Promise."""
@@ -109,6 +117,7 @@ class PromiseEntry:
     value: Proposal
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Promise:
     """Replica -> new leader: promise + everything requested that I know.
@@ -126,6 +135,7 @@ class Promise:
     latest: tuple[InstanceId, Any] | None
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class AcceptBatch:
     """Leader -> all replicas: accept several *consecutive* instances in one
@@ -151,6 +161,7 @@ class AcceptBatch:
     snapshot: Any = None
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class AcceptedBatch:
     """Replica -> leader: acknowledges an AcceptBatch."""
@@ -159,6 +170,7 @@ class AcceptedBatch:
     instances: tuple[InstanceId, ...]
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class ChosenBatch:
     """Leader -> all replicas: several instances decided at once."""
@@ -168,6 +180,7 @@ class ChosenBatch:
 
 
 # -------------------------------------------------------------------- X-Paxos
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Confirm:
     """Backup -> leader (X-Paxos, §3.4): you hold the highest ballot I have
@@ -178,6 +191,7 @@ class Confirm:
 
 
 # -------------------------------------------------------------------- clients
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class Reply:
     """Leader -> client."""
@@ -188,6 +202,7 @@ class Reply:
     leader: ProcessId | None = None
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class StartSignal:
     """Leader -> clients: experiment start marker (§4: the leader sends a
@@ -197,6 +212,7 @@ class StartSignal:
 
 
 # ------------------------------------------------------------------- catch-up
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class FrontierProbe:
     """Leader -> all replicas, periodically: my applied frontier is
@@ -208,6 +224,7 @@ class FrontierProbe:
     ballot: Ballot
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class CatchUpQuery:
     """Lagging replica -> peer: what was chosen from ``from_instance`` on?"""
@@ -215,6 +232,7 @@ class CatchUpQuery:
     from_instance: InstanceId
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class CatchUpInfo:
     """Peer -> lagging replica: chosen values it asked for."""

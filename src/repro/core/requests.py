@@ -12,8 +12,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.types import ProcessId, RequestKind
+from repro.util.fastpickle import fast_pickle
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class RequestId:
     """Globally unique, client-assigned request identifier."""
@@ -25,6 +27,7 @@ class RequestId:
         return f"{self.client}#{self.seq}"
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class ClientRequest:
     """One client request as broadcast to all service replicas (§3.3).

@@ -23,11 +23,13 @@ from typing import Any, TYPE_CHECKING
 
 from repro.errors import ProtocolError
 from repro.types import StateTransferMode
+from repro.util.fastpickle import fast_pickle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.services.base import Service
 
 
+@fast_pickle
 @dataclass(frozen=True, slots=True)
 class StatePayload:
     """The ``state`` half of a chosen ``<req, state>`` tuple.

@@ -72,6 +72,15 @@ class SimNetwork:
         #: :meth:`set_disturbance` / :meth:`clear_disturbance`.
         self.disturbance = Disturbance()
         self._disturbance_rng = random.Random(f"{seed}/disturbance")
+        #: Mirror of ``disturbance.active`` as a plain attribute, so the
+        #: per-message fast path pays one load instead of three comparisons.
+        self._disturbance_active = False
+        #: Route cache: (src, dst) -> (link, site_key, site_counter|None).
+        #: Collapses the per-message topology lookups (two ``site_of`` calls,
+        #: an f-string metric name, a link-table probe) into one dict hit.
+        self._routes: dict[
+            tuple[ProcessId, ProcessId], tuple[Link, tuple[str, str], object]
+        ] = {}
 
     def _link(self, src: ProcessId, dst: ProcessId) -> Link:
         key = (src, dst)
@@ -82,6 +91,21 @@ class SimNetwork:
             link = Link(spec, rng)
             self._links[key] = link
         return link
+
+    def _route(
+        self, src: ProcessId, dst: ProcessId
+    ) -> tuple[Link, tuple[str, str], object]:
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            site_key = (self.topology.site_of(src), self.topology.site_of(dst))
+            counter = (
+                self.metrics.counter(f"net.site.{site_key[0]}->{site_key[1]}")
+                if self.metrics.enabled
+                else None
+            )
+            route = self._routes[key] = (self._link(src, dst), site_key, counter)
+        return route
 
     # ----------------------------------------------------------- disturbances
     def set_disturbance(
@@ -100,9 +124,11 @@ class SimNetwork:
         self.disturbance = Disturbance(
             loss=loss, duplicate=duplicate, extra_latency=extra_latency
         )
+        self._disturbance_active = self.disturbance.active
 
     def clear_disturbance(self) -> None:
         self.disturbance = Disturbance()
+        self._disturbance_active = False
 
     # --------------------------------------------------------------- delivery
     def delays(self, src: ProcessId, dst: ProcessId, depart: float) -> tuple[float, ...]:
@@ -113,18 +139,22 @@ class SimNetwork:
             self.last_drop_cause = "partition"
             self.metrics.counter("net.drop.partition").inc()
             return ()
-        site_key = (self.topology.site_of(src), self.topology.site_of(dst))
-        self.messages_sent[site_key] = self.messages_sent.get(site_key, 0) + 1
-        if self.metrics.enabled:
-            self.metrics.counter(f"net.site.{site_key[0]}->{site_key[1]}").inc()
-        disturbance = self.disturbance
-        if disturbance.active and src != dst:
+        route = self._routes.get((src, dst))
+        if route is None:
+            route = self._route(src, dst)
+        link, site_key, site_counter = route
+        sent = self.messages_sent
+        sent[site_key] = sent.get(site_key, 0) + 1
+        if site_counter is not None:
+            site_counter.inc()
+        if self._disturbance_active and src != dst:
+            disturbance = self.disturbance
             if disturbance.loss and self._disturbance_rng.random() < disturbance.loss:
                 self.messages_dropped += 1
                 self.last_drop_cause = "disturbance"
                 self.metrics.counter("net.drop.disturbance").inc()
                 return ()
-        copies = self._link(src, dst).delays(depart)
+        copies = link.delays(depart)
         if not copies:
             self.messages_dropped += 1
             self.last_drop_cause = "loss"
@@ -132,7 +162,8 @@ class SimNetwork:
             return ()
         if len(copies) > 1:
             self.last_dup_cause = "link"
-        if disturbance.active and src != dst:
+        if self._disturbance_active and src != dst:
+            disturbance = self.disturbance
             if (
                 disturbance.duplicate
                 and len(copies) == 1

@@ -1,0 +1,85 @@
+"""Deterministic merging of sweep records.
+
+The merged document has two strictly separated parts:
+
+* ``results`` — a pure function of the spec list: one entry per run,
+  sorted by key, carrying only the task's deterministic output (plus the
+  spec itself). Byte-identical across worker counts, completion orders,
+  retries, and machines.
+* ``timing`` — everything host-dependent: per-run and total wall-clock,
+  worker count, attempt counts. Consumers that diff sweeps diff the
+  results section; consumers that chart speedups read timing.
+
+:func:`canonical_json` pins the byte encoding (sorted keys, fixed
+separators, trailing newline) so "byte-identical" is a testable promise,
+not an accident of ``json.dumps`` defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.runner import RunRecord, SweepResult
+
+
+def merge_records(records: Sequence["RunRecord"]) -> dict[str, Any]:
+    """The deterministic results section: sorted by key, no host facts."""
+    runs = []
+    for record in sorted(records, key=lambda r: r.spec.key):
+        entry: dict[str, Any] = {
+            "key": record.spec.key,
+            "task": record.spec.task,
+            "params": dict(record.spec.params),
+            "ok": record.ok,
+        }
+        if record.ok:
+            entry["result"] = record.result
+        else:
+            entry["error"] = record.error
+        runs.append(entry)
+    failed = [r.spec.key for r in records if not r.ok]
+    return {
+        "runs": runs,
+        "aggregate": {
+            "total": len(runs),
+            "ok": len(runs) - len(failed),
+            "failed": sorted(failed),
+        },
+    }
+
+
+def timing_summary(sweep: "SweepResult") -> dict[str, Any]:
+    """The host-dependent timing section (never part of the results diff)."""
+    per_run = {
+        record.spec.key: {
+            "wall": round(record.wall, 6),
+            "attempts": record.attempts,
+        }
+        for record in sweep.records
+    }
+    busy = sum(record.wall for record in sweep.records)
+    return {
+        "workers": sweep.workers,
+        "wall": round(sweep.wall, 6),
+        "busy": round(busy, 6),
+        #: Busy/wall — how much parallelism was actually realized.
+        "speedup": round(busy / sweep.wall, 3) if sweep.wall > 0 else 0.0,
+        "runs": per_run,
+    }
+
+
+def merge_sweep(sweep: "SweepResult", name: str = "sweep") -> dict[str, Any]:
+    """Full document: deterministic results + separated timing."""
+    return {
+        "name": name,
+        "results": merge_records(sweep.records),
+        "timing": timing_summary(sweep),
+    }
+
+
+def canonical_json(doc: Any) -> str:
+    """The one true byte encoding for merged documents."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ": "), indent=2) + "\n"

@@ -1,0 +1,248 @@
+"""Run specs and grid builders for parallel sweeps.
+
+A :class:`RunSpec` is the unit of scheduling: a task name (resolved via
+:data:`repro.parallel.tasks.TASKS`), a unique sortable ``key``, and a dict
+of JSON-ready parameters. **The seed is always an explicit parameter** —
+nothing about a run depends on which worker executes it, how many workers
+exist, or what ran before it. That is the whole determinism story: the
+merged output of a sweep is a pure function of its spec list.
+
+Grid builders turn CLI-level arguments into spec lists. They are plain
+functions so tests can call them directly and assert the seed layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+#: Kinds swept by the RRT/throughput figures (mirrors ``repro.cli.KINDS``).
+_KINDS = ("original", "read", "write")
+
+#: Table 1 cells: (transaction mode, requests per transaction).
+_TABLE1_CELLS = (
+    ("read_write", 3),
+    ("read_write", 5),
+    ("write_only", 3),
+    ("write_only", 5),
+    ("optimized", 3),
+    ("optimized", 5),
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent unit of work for the sweep runner.
+
+    ``key`` must be unique within a sweep; merged results are sorted by it,
+    so choose keys that sort the way reports should read (zero-padded
+    seeds, ``profile/kind`` paths, ...). ``params`` must be picklable and
+    JSON-serializable — they are sent to workers and embedded verbatim in
+    the merged document.
+    """
+
+    task: str
+    key: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigError("RunSpec.key must be non-empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"task": self.task, "key": self.key, "params": dict(self.params)}
+
+
+def validate_specs(specs: Sequence[RunSpec]) -> None:
+    """Reject duplicate keys (they would silently collapse in the merge)
+    and unknown task names (caller errors, not per-run failures)."""
+    from repro.parallel.tasks import TASKS
+
+    seen: dict[str, RunSpec] = {}
+    for spec in specs:
+        if spec.task not in TASKS:
+            raise ConfigError(
+                f"unknown task {spec.task!r}; known: {sorted(TASKS)}"
+            )
+        clash = seen.get(spec.key)
+        if clash is not None:
+            raise ConfigError(
+                f"duplicate run key {spec.key!r} ({clash.task} vs {spec.task})"
+            )
+        seen[spec.key] = spec
+
+
+# --------------------------------------------------------------------- grids
+def chaos_grid(
+    seeds: int = 20,
+    first_seed: int = 0,
+    protocols: Sequence[str] | None = None,
+    **option_overrides: Any,
+) -> list[RunSpec]:
+    """One chaos trial per (protocol, seed).
+
+    Every spec carries its own seed and a fully materialized options dict —
+    a worker reconstructs ``ChaosOptions(**params["options"])`` and calls
+    ``run_chaos(params["seed"], options)``. Nothing is derived from sweep
+    position or worker identity, so a trial's nemesis schedule is identical
+    whether the sweep runs serially, on 4 workers, or after a retry.
+    """
+    from repro.chaos.runner import PROTOCOLS, ChaosOptions
+
+    if protocols is None:
+        protocols = ("basic",)
+    for protocol in protocols:
+        if protocol not in PROTOCOLS:
+            raise ConfigError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
+    specs = []
+    for protocol in protocols:
+        options = ChaosOptions(protocol=protocol, **option_overrides)
+        for seed in range(first_seed, first_seed + seeds):
+            specs.append(
+                RunSpec(
+                    task="chaos",
+                    key=f"chaos/{protocol}/seed={seed:06d}",
+                    params={
+                        "seed": seed,
+                        "options": dataclasses.asdict(options),
+                    },
+                )
+            )
+    return specs
+
+
+def figures_grid(quick: bool = False) -> list[RunSpec]:
+    """Every cell of the paper's §4 evaluation as one independent run.
+
+    Mirrors the sections of ``repro experiments``: RRT per profile x kind,
+    throughput per figure x client count x kind, Table 1 transaction RRT,
+    and Fig. 9 transaction throughput. Seeds match the serial report
+    exactly (1/3/2/5 respectively), so a parallel sweep reproduces the same
+    numbers as the serial command.
+    """
+    specs: list[RunSpec] = []
+    rrt_samples = 60 if quick else 300
+    for profile in ("sysnet", "berkeley_princeton", "wan"):
+        for kind in _KINDS:
+            specs.append(
+                RunSpec(
+                    task="rrt",
+                    key=f"rrt/{profile}/{kind}",
+                    params={
+                        "profile": profile,
+                        "kind": kind,
+                        "samples": rrt_samples,
+                        "seed": 1,
+                    },
+                )
+            )
+    total = 400 if quick else 1000
+    for figure, profile, clients in (
+        ("fig5", "sysnet", (1, 2, 4, 8, 16)),
+        ("fig6", "sysnet", (8, 16, 32, 64, 128)),
+        ("fig7", "berkeley_princeton", (1, 2, 4, 8, 16)),
+        ("fig8", "wan", (1, 2, 4, 8, 16)),
+    ):
+        for c in clients:
+            for kind in ("read", "write", "original"):
+                specs.append(
+                    RunSpec(
+                        task="throughput",
+                        key=f"throughput/{figure}/{profile}/c={c:03d}/{kind}",
+                        params={
+                            "profile": profile,
+                            "kind": kind,
+                            "n_clients": c,
+                            "total_requests": total,
+                            "seed": 3,
+                        },
+                    )
+                )
+    txn_samples = 60 if quick else 200
+    for mode, k in _TABLE1_CELLS:
+        specs.append(
+            RunSpec(
+                task="txn_rrt",
+                key=f"table1/{mode}/k={k}",
+                params={
+                    "mode": mode,
+                    "requests_per_txn": k,
+                    "samples": txn_samples,
+                    "seed": 2,
+                },
+            )
+        )
+    total_txns = 200 if quick else 400
+    for k in (3, 5):
+        for c in (1, 2, 4, 8, 16):
+            for mode in ("read_write", "write_only", "optimized"):
+                specs.append(
+                    RunSpec(
+                        task="txn_throughput",
+                        key=f"fig9/k={k}/c={c:03d}/{mode}",
+                        params={
+                            "mode": mode,
+                            "requests_per_txn": k,
+                            "n_clients": c,
+                            "total_txns": total_txns,
+                            "seed": 5,
+                        },
+                    )
+                )
+    return specs
+
+
+def calibration_grid(samples: int = 400, seeds: int = 4) -> list[RunSpec]:
+    """The calibration set: per-profile RRT runs across several seeds.
+
+    Used when re-fitting profile constants — many seeds of the same cell
+    give the across-seed spread that the calibration docs report.
+    """
+    specs = []
+    for profile in ("sysnet", "berkeley_princeton", "wan"):
+        for kind in _KINDS:
+            for seed in range(1, 1 + seeds):
+                specs.append(
+                    RunSpec(
+                        task="rrt",
+                        key=f"calibration/{profile}/{kind}/seed={seed:04d}",
+                        params={
+                            "profile": profile,
+                            "kind": kind,
+                            "samples": samples,
+                            "seed": seed,
+                        },
+                    )
+                )
+    return specs
+
+
+def selftest_grid(runs: int = 32, sleep: float = 0.05) -> list[RunSpec]:
+    """Runner self-test: ``runs`` sleep-bound echo tasks.
+
+    Demonstrates (and lets CI measure) scheduler overlap independent of
+    core count — sleeps release the CPU, so the speedup at N workers
+    approaches N even on a single-core box. Results are still
+    deterministic (each task echoes its params), so the byte-identical
+    merge contract is exercised too.
+    """
+    return [
+        RunSpec(
+            task="echo",
+            key=f"selftest/{index:04d}",
+            params={"sleep": sleep, "index": index},
+        )
+        for index in range(runs)
+    ]
+
+
+GRIDS = {
+    "chaos": chaos_grid,
+    "figures": figures_grid,
+    "calibration": calibration_grid,
+    "selftest": selftest_grid,
+}

@@ -1,0 +1,191 @@
+"""Task functions executed by sweep workers.
+
+Every task is a module-level function ``(params: dict) -> dict`` so it
+pickles by reference under any multiprocessing start method. Tasks return
+**deterministic, JSON-ready** dicts: no host wall-time, no worker identity,
+no object references — the merge layer depends on a task's output being a
+pure function of its params.
+
+Latency summaries are flattened with :func:`summary_dict` (full
+:class:`~repro.util.stats.Summary` detail) so merged sweep documents carry
+enough to regenerate any table without re-running.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.util.stats import Summary
+
+
+def summary_dict(summary: Summary | None) -> dict[str, Any] | None:
+    """Flatten a latency summary; None stays None (no samples)."""
+    if summary is None:
+        return None
+    return {
+        "n": summary.n,
+        "mean": summary.mean,
+        "std": summary.std,
+        "ci99": summary.ci99,
+        "p50": summary.p50,
+        "p95": summary.p95,
+        "p99": summary.p99,
+        "min": summary.minimum,
+        "max": summary.maximum,
+    }
+
+
+def _run_result_dict(result: Any) -> dict[str, Any]:
+    """Common serialization for scenario ``RunResult`` objects."""
+    return {
+        "n_clients": result.n_clients,
+        "duration": result.duration,
+        "total_requests": result.total_requests,
+        "total_steps": result.total_steps,
+        "aborted_steps": result.aborted_steps,
+        "throughput": result.throughput,
+        "step_throughput": result.step_throughput,
+        "total_messages": result.total_messages,
+        "total_bytes": result.total_bytes,
+        "rrt": summary_dict(result.rrt),
+        "trt": summary_dict(result.trt),
+    }
+
+
+# ---------------------------------------------------------------- real tasks
+def chaos_task(params: dict[str, Any]) -> dict[str, Any]:
+    """One chaos trial. The seed comes from the spec — never from sweep
+    position — so the nemesis schedule is identical under any worker
+    layout or retry history (the satellite regression test pins this)."""
+    from repro.chaos.runner import ChaosOptions, run_chaos
+
+    options = ChaosOptions(**params["options"])
+    result = run_chaos(params["seed"], options)
+    return result.to_dict()
+
+
+def rrt_task(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.cluster.scenarios import rrt_scenario
+
+    result = rrt_scenario(
+        params["profile"],
+        params["kind"],
+        samples=params.get("samples", 200),
+        seed=params["seed"],
+    )
+    return _run_result_dict(result)
+
+
+def throughput_task(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.cluster.scenarios import throughput_scenario
+
+    result = throughput_scenario(
+        params["profile"],
+        params["kind"],
+        params["n_clients"],
+        total_requests=params.get("total_requests", 1000),
+        seed=params["seed"],
+    )
+    return _run_result_dict(result)
+
+
+def txn_rrt_task(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.cluster.scenarios import txn_rrt_scenario
+
+    result = txn_rrt_scenario(
+        params["mode"],
+        params["requests_per_txn"],
+        samples=params.get("samples", 100),
+        profile=params.get("profile", "sysnet"),
+        seed=params["seed"],
+    )
+    return _run_result_dict(result)
+
+
+def txn_throughput_task(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.cluster.scenarios import txn_throughput_scenario
+
+    result = txn_throughput_scenario(
+        params["mode"],
+        params["requests_per_txn"],
+        params["n_clients"],
+        total_txns=params.get("total_txns", 500),
+        profile=params.get("profile", "sysnet"),
+        seed=params["seed"],
+    )
+    return _run_result_dict(result)
+
+
+def chaos_result_task(params: dict[str, Any]) -> Any:
+    """Like :func:`chaos_task` but returns the full :class:`ChaosResult`
+    object (picklable; ``cluster`` is never kept). Used by ``repro chaos
+    --workers`` so the existing reporting/shrinking path works unchanged.
+    **Not JSON-ready** — excluded from ``repro sweep`` grids.
+    """
+    from repro.chaos.runner import ChaosOptions, run_chaos
+
+    options = ChaosOptions(**params["options"])
+    return run_chaos(params["seed"], options)
+
+
+# ---------------------------------------------------------- test-only tasks
+def echo_task(params: dict[str, Any]) -> dict[str, Any]:
+    """Return the params (optionally after sleeping). Runner/merge tests."""
+    delay = params.get("sleep", 0.0)
+    if delay:
+        time.sleep(delay)
+    return {"echo": {k: v for k, v in params.items() if k != "sleep"}}
+
+
+def crash_task(params: dict[str, Any]) -> dict[str, Any]:
+    """SIGKILL the worker unless ``marker`` (a file path) exists.
+
+    First attempt: the marker is absent, so the task creates it and kills
+    its own process — the parent sees a dead worker mid-run. Retry (on a
+    fresh worker): the marker exists, the task completes normally. This
+    gives the crash-recovery test a deterministic one-shot failure.
+    """
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("crashed once\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"echo": {"recovered": True, "value": params.get("value")}}
+
+
+def hang_task(params: dict[str, Any]) -> dict[str, Any]:
+    """Sleep far past any sane per-run timeout. Timeout-handling tests."""
+    time.sleep(params.get("duration", 3600.0))
+    return {"echo": {"finished": True}}  # pragma: no cover - killed first
+
+
+def failing_task(params: dict[str, Any]) -> dict[str, Any]:
+    """Raise deterministically. Error-record tests."""
+    raise RuntimeError(params.get("message", "task failed"))
+
+
+TASKS: dict[str, Callable[[dict[str, Any]], Any]] = {
+    "chaos": chaos_task,
+    "chaos_result": chaos_result_task,
+    "rrt": rrt_task,
+    "throughput": throughput_task,
+    "txn_rrt": txn_rrt_task,
+    "txn_throughput": txn_throughput_task,
+    "echo": echo_task,
+    "crash": crash_task,
+    "hang": hang_task,
+    "fail": failing_task,
+}
+
+
+def run_task(task: str, params: dict[str, Any]) -> Any:
+    """Dispatch one task by name (shared by workers and the serial path)."""
+    fn = TASKS.get(task)
+    if fn is None:
+        raise ConfigError(f"unknown task {task!r}; known: {sorted(TASKS)}")
+    return fn(params)

@@ -5,41 +5,84 @@ messages. Everything above it (network delivery, CPU completion, protocol
 timers) is expressed as a scheduled callback. Events scheduled for the same
 virtual time fire in schedule order (FIFO tie-breaking via a sequence
 number), which keeps runs fully deterministic.
+
+Hot-path notes (this module dominates large sweeps, so it is tuned):
+
+* Heap entries are ``(time, seq, handle)`` tuples, so heap sifting compares
+  at C speed — no Python ``__lt__`` per comparison. ``seq`` is unique,
+  which both breaks ties FIFO and guarantees the handle itself is never
+  compared.
+* Cancellation is *slot-indexed*: every handle knows its kernel, so a
+  cancel updates an O(1) live-event counter instead of the heap being
+  re-scanned. ``pending`` is a subtraction, and when cancelled events
+  outnumber live ones the heap is compacted **in place** (same list
+  object, so ``run``'s local binding stays valid even when a callback
+  triggers compaction mid-run).
+* Internal fire-and-forget events (message deliveries — the bulk of all
+  events) go through :meth:`post_at`, which recycles handles from a free
+  list. After warm-up a steady-state simulation allocates no new handles
+  (the perf tier pins this via :attr:`handles_created`).
+* :meth:`run` inlines the pop loop — no per-event ``step()`` call, and
+  heap/pool/counter lookups are bound once outside the loop.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 from collections.abc import Callable
+from heapq import heapify, heappop, heappush
 from typing import Any
 
 from repro.errors import SimulationError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.util.seq import SequenceGenerator
 
+#: Compact the heap once this many cancelled events have accumulated *and*
+#: they outnumber the live ones (see :meth:`Kernel._maybe_compact`).
+_COMPACT_MIN_CANCELLED = 512
+
 
 class EventHandle:
     """Handle for a scheduled event; allows cancellation.
 
     Cancellation is *lazy*: the event stays in the heap but is skipped when
-    popped. This is the standard O(1)-cancel trick for simulation heaps.
+    popped. This is the standard O(1)-cancel trick for simulation heaps —
+    plus a per-kernel cancelled counter so ``pending`` never re-scans and
+    dense cancellation triggers compaction.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "kernel", "pooled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        kernel: "Kernel | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn: Callable[..., None] | None = fn
         self.args = args
         self.cancelled = False
+        #: Owning kernel (None for handles created outside a kernel, e.g.
+        #: in unit tests that exercise the handle directly).
+        self.kernel = kernel
+        #: True for internal pool-managed events (never exposed to callers).
+        self.pooled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing. Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None          # release references early
         self.args = ()
+        kernel = self.kernel
+        if kernel is not None:
+            kernel._cancelled += 1
+            kernel._maybe_compact()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,11 +102,19 @@ class Kernel:
 
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
-        self._heap: list[EventHandle] = []
+        #: Heap of (time, seq, EventHandle) — tuple comparison stays in C.
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = SequenceGenerator()
         self._seed = seed
         self._running = False
         self.events_processed = 0
+        #: Cancelled events still sitting in the heap (slot-index bookkeeping).
+        self._cancelled = 0
+        #: Free list of recycled internal event handles (see :meth:`post_at`).
+        self._pool: list[EventHandle] = []
+        #: Total EventHandle objects ever constructed — the perf tier asserts
+        #: this stops growing once the pool is warm.
+        self.handles_created = 0
         #: Observability sink (gauges updated at the end of each run());
         #: deliberately off the per-event hot path.
         self.metrics: MetricsRegistry = NULL_REGISTRY
@@ -94,27 +145,97 @@ class Kernel:
         return self.schedule_at(self._now + delay, fn, *args)
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``.
+
+        The returned handle may be held and cancelled at any point; it is
+        never recycled. Internal callers that discard the handle should use
+        :meth:`post_at` instead, which draws from the event pool.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        handle = EventHandle(time, self._seq.next(), fn, args)
-        heapq.heappush(self._heap, handle)
+        seq = self._seq.next()
+        handle = EventHandle(time, seq, fn, args, self)
+        self.handles_created += 1
+        heappush(self._heap, (time, seq, handle))
         return handle
+
+    def post_at(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule a fire-and-forget event at absolute time ``time``.
+
+        Pool-backed fast path for internal machinery (message deliveries):
+        the handle is recycled after the event fires, so no reference to it
+        ever escapes — callers that need cancellation must use
+        :meth:`schedule_at`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        seq = self._seq.next()
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, seq, fn, args, self)
+            handle.pooled = True
+            self.handles_created += 1
+        heappush(self._heap, (time, seq, handle))
+
+    # ------------------------------------------------------------ compaction
+    def _maybe_compact(self) -> None:
+        """Drop cancelled events when they dominate the heap.
+
+        Rebuilds **in place** (slice assignment + heapify) so any local
+        bindings of the heap list made by :meth:`run` stay valid.
+        """
+        heap = self._heap
+        if self._cancelled < _COMPACT_MIN_CANCELLED or self._cancelled * 2 < len(heap):
+            return
+        pool = self._pool
+        live = []
+        for entry in heap:
+            handle = entry[2]
+            if handle.cancelled:
+                if handle.pooled:
+                    pool.append(handle)
+            else:
+                live.append(entry)
+        heap[:] = live
+        heapify(heap)
+        self._cancelled = 0
 
     # --------------------------------------------------------------- running
     def step(self) -> bool:
         """Run the next pending event. Returns False if the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pool = self._pool
+        while heap:
+            event = heappop(heap)[2]
             if event.cancelled:
+                self._cancelled -= 1
+                if event.pooled:
+                    event.args = ()
+                    pool.append(event)
                 continue
             self._now = event.time
             fn, args = event.fn, event.args
-            event.cancel()  # release references
+            # Mark fired without touching the cancelled counter (the event is
+            # already out of the heap); held handles read as inactive.
+            event.cancelled = True
+            event.fn = None
+            event.args = ()
             assert fn is not None
             fn(*args)
+            if event.pooled:
+                event.cancelled = False  # reset for reuse
+                pool.append(event)
             self.events_processed += 1
             return True
         return False
@@ -131,19 +252,42 @@ class Kernel:
             raise SimulationError("kernel.run() is not reentrant")
         self._running = True
         processed = 0
+        # Loop-local bindings: the heap list object is stable (compaction is
+        # in-place) and the pool list is never replaced.
+        heap = self._heap
+        pool = self._pool
+        unlimited = max_events is None
         try:
-            while self._heap:
-                if max_events is not None and processed >= max_events:
+            while heap:
+                if not unlimited and processed >= max_events:
                     break
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    if event.pooled:
+                        event.args = ()
+                        pool.append(event)
                     continue
-                if until is not None and head.time > until:
+                time = head[0]
+                if until is not None and time > until:
                     break
-                self.step()
+                heappop(heap)
+                self._now = time
+                fn = event.fn
+                args = event.args
+                event.cancelled = True
+                event.fn = None
+                event.args = ()
+                assert fn is not None
+                fn(*args)
+                if event.pooled:
+                    event.cancelled = False
+                    pool.append(event)
                 processed += 1
         finally:
+            self.events_processed += processed
             self._running = False
         if until is not None and self._now < until:
             self._now = until
@@ -155,8 +299,13 @@ class Kernel:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the heap (O(1))."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def pool_size(self) -> int:
+        """Recycled internal handles currently on the free list."""
+        return len(self._pool)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Kernel now={self._now:.6f}s pending={self.pending}>"

@@ -21,7 +21,7 @@ deliveries from before the crash.
 from __future__ import annotations
 
 import random
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import Any, Protocol as TypingProtocol
 
 from repro.errors import SimulationError
@@ -94,6 +94,9 @@ class _SimEnv(Env):
     def send(self, dst: ProcessId, msg: Any) -> None:
         self._world._send(self._pid, dst, msg)
 
+    def broadcast(self, dsts: Iterable[ProcessId], msg: Any) -> None:
+        self._world._send_many(self._pid, dsts, msg)
+
     def set_timer(self, delay: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
         return self._world._set_timer(self._pid, delay, fn, *args)
 
@@ -138,6 +141,15 @@ class World:
         self._cpus: dict[ProcessId, CpuModel] = {}
         self._epochs: dict[ProcessId, int] = {}
         self._started = False
+        # Hot-path caches: instrument lookups per (pid, message type), so the
+        # per-message cost with metrics on is one dict hit instead of two
+        # f-strings + registry lookups. Purely an access-path optimization —
+        # the recorded counter values are identical with or without it.
+        self._send_instruments: dict[
+            tuple[ProcessId, type], tuple[Any, Any, Any] | None
+        ] = {}
+        self._recv_instruments: dict[tuple[ProcessId, type], tuple[Any, Any]] = {}
+        self._drop_instruments: dict[type, Any] = {}
 
     # -------------------------------------------------------------- registry
     def add(self, process: Process, cpu: CpuProfile | None = None) -> Process:
@@ -179,9 +191,32 @@ class World:
     # ------------------------------------------------------------- messaging
     def _count_drop(self, msg: Any) -> None:
         if self.metrics.enabled:
-            self.metrics.counter(f"msg.drop.{type(msg).__name__}").inc()
+            counter = self._drop_instruments.get(type(msg))
+            if counter is None:
+                counter = self._drop_instruments[type(msg)] = self.metrics.counter(
+                    f"msg.drop.{type(msg).__name__}"
+                )
+            counter.inc()
 
-    def _send(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+    def _send_counters(self, src: ProcessId, msg_type: type) -> tuple[Any, Any, Any]:
+        """Cached (msg.send, proc.send, msg.send_bytes|None) counters."""
+        key = (src, msg_type)
+        entry = self._send_instruments.get(key)
+        if entry is None:
+            type_name = msg_type.__name__
+            entry = self._send_instruments[key] = (
+                self.metrics.counter(f"msg.send.{type_name}"),
+                self.metrics.counter(f"proc.{src}.send.{type_name}"),
+                self.metrics.counter(f"msg.send_bytes.{type_name}")
+                if self._measure_bytes
+                else None,
+            )
+        return entry
+
+    def _send(
+        self, src: ProcessId, dst: ProcessId, msg: Any, size_hint: int | None = None
+    ) -> None:
+        """Route one message; ``size_hint`` lets broadcasts encode once."""
         sender = self._processes.get(src)
         if sender is None or not sender.alive:
             return  # a crashed process executes no steps
@@ -191,11 +226,11 @@ class World:
             self.trace.emit(self.kernel.now, "send", src, dst, msg)
         metrics = self.metrics
         if metrics.enabled:
-            type_name = type(msg).__name__
-            metrics.counter(f"msg.send.{type_name}").inc()
-            metrics.counter(f"proc.{src}.send.{type_name}").inc()
-            if self._measure_bytes:
-                metrics.counter(f"msg.send_bytes.{type_name}").inc(encoded_size(msg))
+            sent, proc_sent, sent_bytes = self._send_counters(src, type(msg))
+            sent.inc()
+            proc_sent.inc()
+            if sent_bytes is not None:
+                sent_bytes.inc(size_hint if size_hint is not None else encoded_size(msg))
         tracer = self.tracer
         span: Span | None = None
         if tracer.enabled:
@@ -203,11 +238,12 @@ class World:
                 f"msg.{type(msg).__name__}", pid=dst, kind="message",
                 attrs={"src": src, "dst": dst},
             )
-        depart = self._cpus[src].send_completion(self.kernel.now)
+        kernel = self.kernel
+        depart = self._cpus[src].send_completion(kernel._now)
         copies = self.network.delays(src, dst, depart)
         if not copies:
             if self.trace is not None:
-                self.trace.emit(self.kernel.now, "drop", src, dst, msg)
+                self.trace.emit(kernel.now, "drop", src, dst, msg)
             self._count_drop(msg)
             if span is not None:
                 cause = getattr(self.network, "last_drop_cause", None)
@@ -218,14 +254,30 @@ class World:
             # Duplicated delivery: mirror the drop-cause plumbing so the
             # duplicate shows up in trace timelines and on the message span.
             if self.trace is not None:
-                self.trace.emit(self.kernel.now, "dup", src, dst, msg)
+                self.trace.emit(kernel.now, "dup", src, dst, msg)
             if metrics.enabled:
                 metrics.counter(f"msg.dup.{type(msg).__name__}").inc()
             if span is not None:
                 cause = getattr(self.network, "last_dup_cause", None)
                 span.attrs["dup"] = cause or "link"
+        arrive = self._arrive
         for delay in copies:
-            self.kernel.schedule_at(depart + delay, self._arrive, src, dst, msg, span)
+            kernel.post_at(depart + delay, arrive, src, dst, msg, span)
+
+    def _send_many(self, src: ProcessId, dsts: Iterable[ProcessId], msg: Any) -> None:
+        """Broadcast fast path: identical per-destination behaviour to a
+        ``_send`` loop (same CPU booking order, same event sequence), but the
+        wire size is encoded **once** per broadcast — the dominant hidden
+        cost of byte accounting, since leaders fan the same payload out to
+        every peer."""
+        size_hint: int | None = None
+        if self._measure_bytes:
+            sender = self._processes.get(src)
+            if sender is None or not sender.alive:
+                return
+            size_hint = encoded_size(msg)
+        for dst in dsts:
+            self._send(src, dst, msg, size_hint)
 
     def _arrive(
         self, src: ProcessId, dst: ProcessId, msg: Any, span: Span | None
@@ -239,9 +291,9 @@ class World:
                 span.attrs.setdefault("cause", "crashed")
                 self.tracer.end(span, status="dropped")
             return
-        epoch = self._epochs[dst]
-        completion = self._cpus[dst].recv_completion(self.kernel.now)
-        self.kernel.schedule_at(completion, self._handle, src, dst, msg, epoch, span)
+        kernel = self.kernel
+        completion = self._cpus[dst].recv_completion(kernel._now)
+        kernel.post_at(completion, self._handle, src, dst, msg, self._epochs[dst], span)
 
     def _handle(
         self, src: ProcessId, dst: ProcessId, msg: Any, epoch: int, span: Span | None
@@ -259,16 +311,26 @@ class World:
             self.trace.emit(self.kernel.now, "deliver", src, dst, msg)
         metrics = self.metrics
         if metrics.enabled:
-            type_name = type(msg).__name__
-            metrics.counter(f"msg.deliver.{type_name}").inc()
-            metrics.counter(f"proc.{dst}.recv.{type_name}").inc()
+            key = (dst, type(msg))
+            entry = self._recv_instruments.get(key)
+            if entry is None:
+                type_name = type(msg).__name__
+                entry = self._recv_instruments[key] = (
+                    metrics.counter(f"msg.deliver.{type_name}"),
+                    metrics.counter(f"proc.{dst}.recv.{type_name}"),
+                )
+            entry[0].inc()
+            entry[1].inc()
         tracer = self.tracer
-        tracer.end(span)  # duplicate copies keep the first delivery's end
-        token = tracer.activate(span)
-        try:
+        if tracer.enabled:
+            tracer.end(span)  # duplicate copies keep the first delivery's end
+            token = tracer.activate(span)
+            try:
+                receiver.on_message(src, msg)
+            finally:
+                tracer.restore(token)
+        else:
             receiver.on_message(src, msg)
-        finally:
-            tracer.restore(token)
 
     # ----------------------------------------------------------------- timers
     def _set_timer(

@@ -4,6 +4,28 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--perf",
+        action="store_true",
+        default=False,
+        help="run the perf-regression tier (tests marked 'perf')",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    """The perf tier is opt-in: wall-clock floors are meaningless on a
+    loaded laptop, so plain ``pytest`` never runs them."""
+    if config.getoption("--perf"):
+        return
+    skip_perf = pytest.mark.skip(reason="perf tier: opt in with --perf")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)
+
 from repro.net.latency import ConstantLatency
 from repro.net.link import LinkSpec
 from repro.net.profiles import NetworkProfile

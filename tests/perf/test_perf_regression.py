@@ -1,0 +1,125 @@
+"""Perf-regression tier — opt in with ``pytest tests/perf --perf``.
+
+Two kinds of guard:
+
+* **Throughput floors** (`floors.json`): hard minimums for the simulation
+  hot path and the sweep runner's overlap. Floors carry large headroom
+  over the calibrated reference (see the file's comment), so they gate
+  real regressions — a reverted optimization, an accidental O(n) in the
+  event loop — not machine speed.
+* **Zero allocation growth**: the pooled event path must stop creating
+  handles once warm. This one is exact, not a floor: a single leaked
+  allocation per event is a bug regardless of how fast the box is.
+
+Every test prints its measurement so re-calibrating floors is one run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.sim.kernel import Kernel
+
+FLOORS = json.loads((pathlib.Path(__file__).parent / "floors.json").read_text())
+
+pytestmark = pytest.mark.perf
+
+
+def _floor(metric: str) -> float:
+    return float(FLOORS[metric]["floor"])
+
+
+class TestThroughputFloors:
+    def test_kernel_event_throughput(self):
+        kernel = Kernel()
+
+        def repost() -> None:
+            kernel.post_at(kernel.now + 1e-6, repost)
+
+        for _ in range(8):
+            kernel.post_at(0.0, repost)
+        kernel.run(max_events=20_000)  # warm-up: pool + caches
+        start = time.perf_counter()
+        processed = kernel.run(max_events=200_000)
+        elapsed = time.perf_counter() - start
+        rate = processed / elapsed
+        print(f"\nkernel_events_per_s = {rate:,.0f}")
+        assert rate >= _floor("kernel_events_per_s")
+
+    def test_rrt_scenario_throughput(self):
+        from repro.cluster.scenarios import rrt_scenario
+
+        rrt_scenario("sysnet", "write", samples=40, seed=1)  # warm imports
+        start = time.perf_counter()
+        result = rrt_scenario("sysnet", "write", samples=400, seed=1)
+        elapsed = time.perf_counter() - start
+        rate = result.total_requests / elapsed
+        print(f"\nrrt_sysnet_write_req_per_s = {rate:,.0f}")
+        assert rate >= _floor("rrt_sysnet_write_req_per_s")
+
+    def test_sweep_overlap_speedup(self):
+        """The runner must overlap runs: 12 sleep-bound runs on 4 workers
+        finish in far less than the serial sum. Sleeps (not spins) so the
+        floor holds on single-core CI boxes — this measures the scheduler,
+        not the core count."""
+        from repro.parallel import RunSpec, SweepOptions, run_sweep
+
+        specs = [
+            RunSpec(task="echo", key=f"sleep/{i:02d}", params={"sleep": 0.1, "i": i})
+            for i in range(12)
+        ]
+        sweep = run_sweep(specs, SweepOptions(workers=4))
+        assert sweep.ok
+        busy = sum(record.wall for record in sweep.records)
+        speedup = busy / sweep.wall
+        print(f"\nsweep_overlap_speedup = {speedup:.2f} "
+              f"(busy {busy:.2f}s / wall {sweep.wall:.2f}s)")
+        assert speedup >= _floor("sweep_overlap_speedup")
+
+
+class TestZeroAllocationGrowth:
+    def test_pooled_event_path_allocates_nothing_when_warm(self):
+        """Steady-state post_at traffic must recycle every handle."""
+        kernel = Kernel()
+
+        def repost() -> None:
+            kernel.post_at(kernel.now + 1e-6, repost)
+
+        for _ in range(16):
+            kernel.post_at(0.0, repost)
+        kernel.run(max_events=1_000)  # warm-up allocates the pool
+        warm = kernel.handles_created
+        kernel.run(max_events=100_000)
+        grown = kernel.handles_created - warm
+        print(f"\nhandles created after warm-up = {grown}")
+        assert grown == 0
+
+    def test_simulation_run_allocation_plateau(self):
+        """A full cluster run's handle count is dominated by held timers,
+        not deliveries: handles scale far slower than events processed."""
+        from repro.client.workload import single_kind_steps
+        from repro.cluster.harness import Cluster, ClusterSpec
+        from repro.net.profiles import get_profile
+        from repro.types import RequestKind
+
+        def handles_per_event(samples: int) -> tuple[int, int]:
+            spec = ClusterSpec(profile=get_profile("sysnet"), seed=1)
+            steps = [single_kind_steps(RequestKind.WRITE, samples)]
+            cluster = Cluster(spec, steps)
+            cluster.run()
+            return cluster.kernel.handles_created, cluster.kernel.events_processed
+
+        handles_small, events_small = handles_per_event(50)
+        handles_big, events_big = handles_per_event(400)
+        extra_handles = handles_big - handles_small
+        extra_events = events_big - events_small
+        ratio = extra_handles / extra_events
+        print(f"\nmarginal handles per event = {ratio:.3f}")
+        # Deliveries (the bulk of events) must ride the pool; only timers
+        # and per-request scheduling may allocate. Without pooling this
+        # ratio sits near 1.0.
+        assert ratio < 0.6
