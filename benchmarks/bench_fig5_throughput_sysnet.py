@@ -42,7 +42,12 @@ def compute():
 def test_fig5_throughput_sysnet(once):
     text, series = once(compute)
     emit("fig5_throughput_sysnet", text,
-         data={"clients": list(CLIENTS), "throughput": series})
+         data={"clients": list(CLIENTS), "throughput": series},
+         metrics={f"{kind}_throughput_16c": {"value": series[kind][-1],
+                                             "unit": "req/s",
+                                             "direction": "higher"}
+                  for kind in KINDS},
+         profile="sysnet", protocol="all")
     for i, _c in enumerate(CLIENTS):
         assert series["original"][i] > series["read"][i] > series["write"][i]
     # "the throughput of reads was at least 13% higher than that of writes"

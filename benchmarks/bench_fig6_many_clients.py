@@ -42,7 +42,13 @@ def compute():
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_many_clients(once):
     text, series = once(compute)
-    emit("fig6_many_clients", text)
+    emit("fig6_many_clients", text,
+         data={"clients": list(CLIENTS), "throughput": series},
+         metrics={f"{kind}_peak_throughput": {"value": max(series[kind]),
+                                              "unit": "req/s",
+                                              "direction": "higher"}
+                  for kind in KINDS},
+         profile="sysnet", protocol="all")
     for kind in ("read", "write"):
         curve = dict(zip(CLIENTS, series[kind]))
         peak_clients = max(curve, key=curve.get)

@@ -55,7 +55,12 @@ def compute():
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_berkeley_princeton(once):
     text, rrts, series = once(compute)
-    emit("fig7_berkeley_princeton", text)
+    emit("fig7_berkeley_princeton", text,
+         data={"rrt_s": rrts, "clients": list(CLIENTS), "throughput": series},
+         metrics={f"rrt_{kind}_s": {"value": rrts[kind], "unit": "s",
+                                    "direction": "lower"}
+                  for kind in KINDS},
+         profile="berkeley_princeton", protocol="all")
     for kind in KINDS:
         assert rrts[kind] == pytest.approx(PAPER[kind], rel=0.03)
     # Curves coincide: all three kinds within 5% of one another everywhere.

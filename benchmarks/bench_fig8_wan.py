@@ -56,7 +56,12 @@ def compute():
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_wan(once):
     text, rrts, series = once(compute)
-    emit("fig8_wan", text)
+    emit("fig8_wan", text,
+         data={"rrt_s": rrts, "clients": list(CLIENTS), "throughput": series},
+         metrics={f"rrt_{kind}_s": {"value": rrts[kind], "unit": "s",
+                                    "direction": "lower"}
+                  for kind in KINDS},
+         profile="wan", protocol="all")
     for kind in KINDS:
         assert rrts[kind] == pytest.approx(PAPER[kind], rel=0.03)
     # X-Paxos clearly beats the basic protocol on the WAN.

@@ -56,7 +56,13 @@ def compute(k: int):
 @pytest.mark.parametrize("k", [3, 5])
 def test_fig9_txn_throughput(once, k):
     text, series = once(compute, k)
-    emit(f"fig9_txn_throughput_{k}req", text)
+    emit(f"fig9_txn_throughput_{k}req", text,
+         data={"clients": list(CLIENTS), "step_throughput": series},
+         metrics={f"{mode}_txn_throughput_16c": {"value": series[mode][-1],
+                                                 "unit": "txn/s",
+                                                 "direction": "higher"}
+                  for mode in MODES},
+         profile="sysnet", protocol="tpaxos")
     for i, _c in enumerate(CLIENTS):
         assert series["optimized"][i] > series["read_write"][i] > series["write_only"][i]
     # The improvement grows with the client count (paper's trend).

@@ -91,7 +91,15 @@ def compute():
 @pytest.mark.benchmark(group="latency_throughput")
 def test_latency_throughput_knee(once):
     text, latencies = once(compute)
-    emit("latency_throughput", text)
+    emit("latency_throughput", text,
+         data={"mean_rrt_s_by_load": {str(f): v for f, v in latencies.items()}},
+         metrics={
+             "rrt_mean_s_50pct_load": {"value": latencies[0.5], "unit": "s",
+                                       "direction": "lower"},
+             "rrt_mean_s_95pct_load": {"value": latencies[0.95], "unit": "s",
+                                       "direction": "lower"},
+         },
+         profile="sysnet", protocol="original")
     # Flat region: 50% load costs < 1.5x the 20% latency.
     assert latencies[0.5] < 1.5 * latencies[0.2]
     # The knee: beyond capacity, latency blows past 3x the idle latency.

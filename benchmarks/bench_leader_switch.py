@@ -83,7 +83,12 @@ def compute():
 @pytest.mark.benchmark(group="leader_switch")
 def test_leader_switch_sensitivity(once):
     text, inflation, aborts = once(compute)
-    emit("leader_switch", text)
+    emit("leader_switch", text,
+         data={"inflation": inflation, "aborts": aborts},
+         metrics={f"{workload}_inflation": {"value": inflation[workload],
+                                            "unit": "x", "direction": "lower"}
+                  for workload in inflation},
+         profile="test", protocol="all")
     # §3.6 ordering: X-Paxos reads and T-Paxos transactions suffer more
     # from switches than basic-protocol writes (queued writes survive a
     # recovery; pending reads and open transactions do not).

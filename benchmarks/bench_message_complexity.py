@@ -82,7 +82,12 @@ def compute():
 @pytest.mark.benchmark(group="messages")
 def test_message_complexity(once):
     text, measured = once(compute)
-    emit("message_complexity", text)
+    emit("message_complexity", text,
+         data={"messages_per_request": measured},
+         metrics={f"{kind}_msgs_per_req": {"value": measured[kind],
+                                           "unit": "msg", "direction": "lower"}
+                  for kind in measured},
+         profile="test", protocol="all")
     for kind, (_formula, expected) in EXPECTED.items():
         assert measured[kind] == pytest.approx(expected, abs=0.6)
     assert measured["txn"] == pytest.approx(3 * (N + 1) + (N + 3 * (N - 1) + 1), abs=1.5)

@@ -60,7 +60,15 @@ def compute():
 @pytest.mark.benchmark(group="rrt")
 def test_rrt_sysnet(once):
     text, measured, data = once(compute)
-    emit("rrt_sysnet", text, data=data)
+    metrics = {
+        f"rrt_{kind}_s": {"value": summary.mean, "unit": "s", "direction": "lower"}
+        for kind, summary in measured.items()
+    }
+    metrics["total_wall_s"] = {
+        "value": data["host"]["total_wall_s"], "unit": "s", "direction": "lower",
+    }
+    emit("rrt_sysnet", text, data=data, metrics=metrics,
+         profile="sysnet", protocol="all")
     # Reproduction guardrails: within 5% of the paper's means.
     for kind in PAPER:
         assert measured[kind].mean == pytest.approx(PAPER[kind], rel=0.05)

@@ -84,7 +84,13 @@ def compute():
 @pytest.mark.benchmark(group="semipassive")
 def test_semipassive_comparison(once):
     text, sp_delays, projections = once(compute)
-    emit("semipassive", text)
+    emit("semipassive", text,
+         data={"delays_per_request": sp_delays,
+               "projection_s": {k: list(v) for k, v in projections.items()}},
+         metrics={"semipassive_delays_per_req": {"value": sp_delays,
+                                                 "unit": "delays",
+                                                 "direction": "lower"}},
+         protocol="semipassive")
     assert sp_delays == pytest.approx(4.0)
     for name, (basic, semi) in projections.items():
         assert semi > basic

@@ -96,7 +96,20 @@ def compute():
 @pytest.mark.benchmark(group="state_transfer")
 def test_state_transfer_ablation(once):
     text, data = once(compute)
-    emit("state_transfer", text)
+    big = SIZES[-1]
+    emit("state_transfer", text,
+         data={f"{mode.value}_{size}": {"rrt_s": data[(mode, size)][0],
+                                        "payload_bytes": data[(mode, size)][1]}
+               for size in SIZES for mode in MODES},
+         metrics={
+             "full_1mb_write_rrt_s": {
+                 "value": data[(StateTransferMode.FULL, big)][0],
+                 "unit": "s", "direction": "lower"},
+             "delta_1mb_payload_bytes": {
+                 "value": data[(StateTransferMode.DELTA, big)][1],
+                 "unit": "B", "direction": "lower"},
+         },
+         profile="sysnet", protocol="basic")
     big, small = SIZES[-1], SIZES[0]
     # FULL payload scales with state; DELTA/REPRO do not.
     assert data[(StateTransferMode.FULL, big)][1] > 100 * data[(StateTransferMode.FULL, small)][1]

@@ -80,7 +80,16 @@ def compute():
 @pytest.mark.benchmark(group="t_sweep")
 def test_t_sweep(once):
     text, data = once(compute)
-    emit("t_sweep", text)
+    emit("t_sweep", text,
+         data={str(n): {"read_rrt_s": v[0], "write_rrt_s": v[1]}
+               for n, v in data.items()},
+         metrics={
+             "read_rrt_n7_s": {"value": data[7][0], "unit": "s",
+                               "direction": "lower"},
+             "write_rrt_n7_s": {"value": data[7][1], "unit": "s",
+                                "direction": "lower"},
+         },
+         profile="t_sweep", protocol="all")
     # Reads degrade monotonically as t grows (larger confirm quorum over a
     # jittery WAN). The effect is mild — the client<->leader leg dominates —
     # matching the paper's hedged phrasing ("could result in performance

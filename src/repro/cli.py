@@ -233,6 +233,7 @@ def run_command(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace=args.trace,
         tracing=args.tracing or bool(args.chrome),
+        profiling=args.profiling,
     )
     steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
     cluster = Cluster(spec, steps)
@@ -468,7 +469,168 @@ def sweep_command(args: argparse.Namespace) -> int:
     for key in aggregate["failed"]:
         print(f"  FAILED {key}", file=sys.stderr)
     print(f"merged: {out}")
+
+    if args.ledger:
+        from repro.obs.ledger import LedgerRecord, append_records, collect_meta
+
+        meta = collect_meta(workers=sweep.workers)
+        count = append_records(
+            args.ledger,
+            [
+                LedgerRecord(
+                    bench=f"sweep_{args.grid}", metric="wall_s",
+                    value=sweep.wall, unit="s", direction="lower", meta=meta,
+                ),
+                LedgerRecord(
+                    bench=f"sweep_{args.grid}", metric="runs_ok_rate",
+                    value=aggregate["ok"] / max(1, aggregate["total"]),
+                    unit="", direction="higher", meta=meta,
+                ),
+            ],
+        )
+        print(f"recorded {count} metric(s) into {args.ledger}")
     return 0 if sweep.ok else 1
+
+
+def profile_command(args: argparse.Namespace) -> int:
+    """Profile one run: hottest-handlers table, §3.4 E/m/M attribution, and
+    (optionally) a collapsed flamegraph file plus a chrome trace with
+    per-actor sim-CPU counter tracks."""
+    from repro.client.workload import single_kind_steps
+    from repro.cluster.harness import Cluster, ClusterSpec
+    from repro.obs.prof import attribution, frame_rows, write_collapsed
+    from repro.types import RequestKind
+    from repro.util.tables import format_table
+
+    profile = get_profile(args.profile)
+    kind = RequestKind(args.kind)
+    per_client = max(1, args.requests // args.clients)
+    spec = ClusterSpec(
+        profile=profile,
+        seed=args.seed,
+        execute_time=args.execute_time,
+        profiling=True,
+        tracing=bool(args.chrome),
+    )
+    steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
+    cluster = Cluster(spec, steps)
+    cluster.run()
+
+    rows = sorted(
+        (row for row in frame_rows(cluster.profiler) if row[1]),
+        key=lambda row: (-row[2], -row[3], row[0]),
+    )
+    table = [
+        [";".join(path), calls, f"{sim_ns / 1e6:.3f}", f"{host_ns / 1e6:.3f}"]
+        for path, calls, sim_ns, host_ns in rows[: args.top]
+    ]
+    print(f"Hottest handlers (top {len(table)}, exclusive)")
+    print(format_table(["frame", "calls", "sim ms", "host ms"], table))
+
+    # §3.4 attribution: M = client<->replica messaging, E = execution,
+    # m = replica<->replica messaging, measured in accounted sim-CPU.
+    attributed = attribution(cluster.profiler)
+    total = sum(seconds for _calls, seconds in attributed.values()) or 1.0
+    arows = [
+        [component, calls, f"{seconds * 1e3:.3f}", f"{seconds / total * 100:.1f}%"]
+        for component, (calls, seconds) in attributed.items()
+    ]
+    print()
+    print("Sim-CPU attribution by §3.4 component")
+    print(format_table(["component", "calls", "sim ms", "share"], arows))
+
+    if args.out:
+        path = write_collapsed(cluster.profiler, args.out, metric=args.metric)
+        print(f"\ncollapsed stacks ({args.metric}): {path} "
+              "(render with flamegraph.pl or speedscope)")
+    if args.chrome:
+        path = cluster.export_chrome(args.chrome)
+        print(f"chrome trace with counter tracks: {path} (load at ui.perfetto.dev)")
+    if args.export:
+        path = cluster.export_timeline(args.export)
+        print(f"timeline: {path}")
+    return 0
+
+
+def perf_command(args: argparse.Namespace) -> int:
+    """The perf-regression ledger: record BENCH results, show trends, gate CI."""
+    from pathlib import Path
+
+    from repro.obs.ledger import (
+        append_records,
+        bench_records,
+        load_ledger,
+        trends,
+    )
+    from repro.util.tables import format_table
+
+    ledger = Path(args.ledger)
+
+    if args.perf_command == "record":
+        import json
+
+        paths = [Path(p) for p in args.paths]
+        if not paths:
+            paths = sorted(Path(args.results_dir).glob("BENCH_*.json"))
+        collected = []
+        for path in paths:
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"repro perf: skipping {path}: {exc}", file=sys.stderr)
+                continue
+            records, warnings = bench_records(doc, source=str(path))
+            for warning in warnings:
+                print(f"repro perf: {warning}", file=sys.stderr)
+            collected.extend(records)
+        if not collected:
+            print("repro perf: no schema-2 metrics found; nothing recorded")
+            return 0
+        count = append_records(ledger, collected)
+        print(f"recorded {count} metric(s) into {ledger}")
+        return 0
+
+    records, skipped = load_ledger(ledger)
+    if skipped:
+        print(f"repro perf: skipped {skipped} malformed ledger line(s)",
+              file=sys.stderr)
+    rows = trends(
+        records,
+        min_history=args.min_history,
+        mad_k=args.mad_k,
+        rel_floor=args.rel_floor,
+    )
+    if not rows:
+        print(f"perf ledger {ledger}: no trendable series")
+        return 0
+
+    table = [
+        [
+            t.bench, t.metric, t.n, t.direction,
+            f"{t.center:.4g}", f"{t.last:.4g}",
+            f"{t.delta_pct:+.1f}%" if t.center else "-",
+            t.status,
+        ]
+        for t in rows
+    ]
+    print(f"perf ledger {ledger}")
+    print(format_table(
+        ["bench", "metric", "n", "dir", "median", "last", "delta", "status"], table
+    ))
+
+    if args.perf_command == "check":
+        regressions = [t for t in rows if t.status == "regression"]
+        for t in regressions:
+            print(
+                f"REGRESSION {t.bench}.{t.metric}: last={t.last:.4g} vs "
+                f"median={t.center:.4g} ({t.delta_pct:+.1f}%, "
+                f"allowed band ±{t.band:.4g}, {t.direction} is better)",
+                file=sys.stderr,
+            )
+        if regressions:
+            return 1
+        print("perf check: no regressions")
+    return 0
 
 
 def report_command(args: argparse.Namespace) -> int:
@@ -534,6 +696,78 @@ def main(argv: Sequence[str] | None = None) -> int:
                      help="record causal request spans (exported with --export)")
     run.add_argument("--chrome", metavar="PATH",
                      help="write a Chrome trace-event JSON here (implies --tracing)")
+    run.add_argument("--profiling", action="store_true",
+                     help="record sim-CPU/host-time profiler frames "
+                          "(exported with --export; counters with --chrome)")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile one run: hottest handlers, E/m/M attribution, flamegraph",
+    )
+    profile_parser.add_argument(
+        "--profile", default="sysnet", choices=sorted(PROFILES),
+        help="deployment profile (default: sysnet)",
+    )
+    profile_parser.add_argument(
+        "--kind", default="write", choices=KINDS,
+        help="request kind for every client (default: write)",
+    )
+    profile_parser.add_argument("--requests", type=int, default=100,
+                                help="total requests across all clients "
+                                     "(default: 100)")
+    profile_parser.add_argument("--clients", type=int, default=1,
+                                help="closed-loop client count (default: 1)")
+    profile_parser.add_argument("--seed", type=int, default=0,
+                                help="simulation seed")
+    profile_parser.add_argument("--execute-time", type=float, default=0.0,
+                                help="modeled execution time E in seconds "
+                                     "(default: 0)")
+    profile_parser.add_argument("--top", type=int, default=10,
+                                help="hottest-handlers rows to print "
+                                     "(default: 10)")
+    profile_parser.add_argument("--out", metavar="PATH",
+                                help="write collapsed flamegraph stacks here "
+                                     "(flamegraph.pl / speedscope input)")
+    profile_parser.add_argument("--metric", default="sim", choices=("sim", "host"),
+                                help="collapsed-stack metric: simulated CPU ns "
+                                     "or host wall ns (default: sim)")
+    profile_parser.add_argument("--chrome", metavar="PATH",
+                                help="write a Chrome trace-event JSON with "
+                                     "counter tracks here")
+    profile_parser.add_argument("--export", metavar="PATH",
+                                help="write the JSONL timeline here "
+                                     "(for 'repro report')")
+
+    perf = sub.add_parser(
+        "perf", help="perf-regression ledger: record results, trend, gate CI"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    default_ledger = "benchmarks/results/perf-ledger.jsonl"
+    perf_record = perf_sub.add_parser(
+        "record", help="ingest BENCH_*.json metrics into the ledger"
+    )
+    perf_record.add_argument("paths", nargs="*", metavar="BENCH_JSON",
+                             help="BENCH files to ingest (default: every "
+                                  "BENCH_*.json under --results-dir)")
+    perf_record.add_argument("--results-dir", default="benchmarks/results",
+                             help="directory scanned when no paths are given")
+    perf_record.add_argument("--ledger", default=default_ledger,
+                             help=f"ledger JSONL path (default: {default_ledger})")
+    for name, help_text in (
+        ("trend", "print per-metric trends (median + MAD noise bands)"),
+        ("check", "exit 1 if the latest value of any metric regressed"),
+    ):
+        p = perf_sub.add_parser(name, help=help_text)
+        p.add_argument("--ledger", default=default_ledger,
+                       help=f"ledger JSONL path (default: {default_ledger})")
+        p.add_argument("--min-history", type=int, default=3,
+                       help="samples needed before the latest one is judged "
+                            "(default: 3)")
+        p.add_argument("--mad-k", type=float, default=3.0,
+                       help="noise-band width in scaled MADs (default: 3.0)")
+        p.add_argument("--rel-floor", type=float, default=0.10,
+                       help="minimum band as a fraction of the median "
+                            "(default: 0.10)")
 
     trace = sub.add_parser(
         "trace",
@@ -632,6 +866,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="[figures grid] smaller sample counts")
     sweep.add_argument("--samples", type=int, default=400,
                        help="[calibration grid] samples per run (default: 400)")
+    sweep.add_argument("--ledger", metavar="PATH",
+                       help="also append the sweep's wall time and ok-rate "
+                            "to this perf ledger")
 
     add_lint_parser(sub)
 
@@ -650,6 +887,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_command(args)
     if args.command == "trace":
         return trace_command(args)
+    if args.command == "profile":
+        return profile_command(args)
+    if args.command == "perf":
+        return perf_command(args)
     if args.command == "report":
         if len(args.paths) > 2:
             parser.error("report takes one export, or two to compare")

@@ -23,6 +23,7 @@ from repro.election.static import ManualElectorGroup, StaticElector
 from repro.errors import ConfigError, SimulationError
 from repro.net.network import SimNetwork
 from repro.net.profiles import NetworkProfile
+from repro.obs.prof.profiler import NULL_PROFILER, NullProfiler, SimProfiler
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.services.base import Service
@@ -110,6 +111,13 @@ class ClusterSpec:
     #: Also account encoded wire bytes per message type (one pickle per
     #: send — the only instrumentation with measurable host-CPU cost).
     measure_bytes: bool = True
+    #: Sim-profiler (:mod:`repro.obs.prof`): folded-stack sim-CPU / host-time
+    #: attribution per actor, handler, and message type. Passive like the
+    #: tracer — a profiled run is byte-identical to a bare one
+    #: (tests/integration/test_profiler.py) — and zero-overhead when off.
+    profiling: bool = False
+    #: Virtual-time period of the profiler's counter track (seconds).
+    profile_sample_interval: float = 0.01
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -151,6 +159,21 @@ class Cluster:
         self.tracer: Tracer | NullTracer = (
             Tracer(clock=lambda: self.kernel.now) if spec.tracing else NULL_TRACER
         )
+        self.profiler: SimProfiler | NullProfiler = (
+            SimProfiler(
+                clock=lambda: self.kernel.now,
+                sample_interval=spec.profile_sample_interval,
+            )
+            if spec.profiling
+            else NULL_PROFILER
+        )
+        if self.profiler.enabled:
+            for pid in self.replica_pids:
+                self.profiler.register_actor(pid, "replica")
+            for pid in self.client_pids:
+                self.profiler.register_actor(pid, "client")
+            self.profiler.register_actor(starter_pid, "other")
+        self.kernel.profiler = self.profiler
         self.world = World(
             self.kernel,
             self.network,
@@ -158,6 +181,7 @@ class Cluster:
             metrics=self.metrics,
             measure_bytes=spec.measure_bytes,
             tracer=self.tracer,
+            profiler=self.profiler,
         )
 
         config = ReplicaConfig(
@@ -196,6 +220,7 @@ class Cluster:
             replica = Replica(pid, config, service_factory, elector)
             replica.metrics = self.metrics.scope(pid)
             replica.tracer = self.tracer
+            replica.profiler = self.profiler
             self.world.add(replica, cpu=replica_cpu)
             self.replicas[pid] = replica
 
@@ -288,9 +313,19 @@ class Cluster:
     def export_chrome(self, path: str) -> str:
         """Write the causal spans as a Chrome trace-event file (load it at
         ``ui.perfetto.dev`` or ``chrome://tracing``). Requires
-        ``ClusterSpec.tracing=True``."""
+        ``ClusterSpec.tracing=True``; with ``profiling=True`` the profiler's
+        deterministic counter track rides along as Perfetto counter rows."""
         from repro.obs.chrome import export_chrome  # local import: cycle guard
 
         if not self.tracer.enabled:
             raise ConfigError("chrome export needs ClusterSpec(tracing=True)")
-        return str(export_chrome(self.tracer.store, path, horizon=self.kernel.now))
+        counters = None
+        if self.profiler.enabled:
+            from repro.obs.prof.export import counter_samples
+
+            counters = counter_samples(self.profiler)
+        return str(
+            export_chrome(
+                self.tracer.store, path, horizon=self.kernel.now, counters=counters
+            )
+        )

@@ -56,6 +56,7 @@ from repro.core.tpaxos import TxnManager
 from repro.core.xpaxos import ReadCoordinator
 from repro.election.base import LeaderElector
 from repro.errors import ServiceError
+from repro.obs.prof.profiler import NULL_PROFILER, NullProfiler, SimProfiler
 from repro.obs.registry import NULL_REGISTRY, Scope
 from repro.obs.spans import Span
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
@@ -134,6 +135,12 @@ class Replica(Process):
         self.tracer: Tracer | NullTracer = NULL_TRACER
         #: Open leader-takeover span (its own trace; recovery nests under it).
         self.takeover_span: Span | None = None
+
+        #: Sim-profiler (the harness swaps in the run's profiler). Protocol
+        #: code opens literal-label scopes at semantic points (execute,
+        #: apply, propose, read, txn); the world's envelope layer owns the
+        #: per-message frames. Labels must be literals — OBS002.
+        self.profiler: SimProfiler | NullProfiler = NULL_PROFILER
 
     # ======================================================== process events
     def on_start(self) -> None:
@@ -242,6 +249,9 @@ class Replica(Process):
 
     def _serve_original(self, src: ProcessId, request: ClientRequest) -> None:
         """The unreplicated baseline: execute + reply, no coordination."""
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.enter("execute")
         try:
             result = self.service.execute(request.op, self.execution_context())
         except ServiceError as exc:
@@ -250,6 +260,9 @@ class Replica(Process):
         except Exception as exc:  # malformed op: reject, never crash the replica
             self.reply(src, request.rid, ReplyStatus.ERROR, f"bad request: {exc}")
             return
+        finally:
+            if profiler.enabled:
+                profiler.exit()
         self.reply(src, request.rid, ReplyStatus.OK, result.reply)
 
     def _submit_write(self, src: ProcessId, request: ClientRequest) -> None:
@@ -286,6 +299,12 @@ class Replica(Process):
                 # this item re-enters once E has elapsed.
                 waited[0] = True
                 self.proposer.pause()
+                if self.profiler.enabled:
+                    # The modeled E is leader CPU occupancy in sim time;
+                    # account it to the replica's execute frame.
+                    self.profiler.stat((str(self.pid), "execute")).add_cpu(
+                        self.config.execute_time
+                    )
                 span: Span | None = None
                 if tracer.enabled:
                     span = tracer.start_span(
@@ -312,6 +331,9 @@ class Replica(Process):
             )
             if not granted:
                 return DEFER
+            profiler = self.profiler
+            if profiler.enabled:
+                profiler.enter("execute")
             try:
                 result = self.service.execute(request.op, self.execution_context())
             except Exception as exc:  # ServiceError or malformed op
@@ -319,6 +341,9 @@ class Replica(Process):
                 self._pending_write_rids.discard(request.rid)
                 self.reply(src, request.rid, ReplyStatus.ERROR, str(exc))
                 return SKIP
+            finally:
+                if profiler.enabled:
+                    profiler.exit()
             if tracer.enabled and self.config.execute_time == 0:
                 # E is not modeled: record a zero-length execute marker so
                 # the waterfall still shows where execution happened.
@@ -476,6 +501,16 @@ class Replica(Process):
 
     def _apply_ready(self) -> None:
         """Apply chosen proposals in instance order up to the frontier."""
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.enter("apply")
+        try:
+            self._apply_ready_inner()
+        finally:
+            if profiler.enabled:
+                profiler.exit()
+
+    def _apply_ready_inner(self) -> None:
         applied_before = self.applied
         while self.applied < self.log.frontier:
             next_instance = self.applied + 1

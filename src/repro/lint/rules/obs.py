@@ -46,6 +46,107 @@ def _name_argument_ok(arg: ast.expr) -> bool:
     return False
 
 
+#: The profiler itself defines/aliases ``enter``/``exit``; only it may
+#: treat labels dynamically (the kernel's event frames go through the
+#: ``enter_event`` alias precisely so this rule doesn't apply to them).
+PROFILER_EXEMPT_FILES = ("obs/prof/profiler.py",)
+
+
+def _profiler_receiver(func: ast.expr) -> bool:
+    """True when a call's receiver looks like a profiler object.
+
+    Matches ``profiler.enter(...)``, ``prof.enter(...)``,
+    ``self.profiler.enter(...)`` — the last dotted component of the
+    receiver must contain ``prof``.
+    """
+    if not isinstance(func, ast.Attribute):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        name = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    else:
+        return False
+    return "prof" in name.lower()
+
+
+def _shallow_statements(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope's nodes without descending into nested scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a nested scope balances (and labels) on its own
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _prof_scope_calls(body: list[ast.stmt]) -> tuple[list[ast.Call], list[ast.Call]]:
+    """``(enter_calls, exit_calls)`` on profiler receivers in one scope."""
+    enters: list[ast.Call] = []
+    exits: list[ast.Call] = []
+    for node in _shallow_statements(body):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not _profiler_receiver(func):
+            continue
+        if func.attr == "enter":
+            enters.append(node)
+        elif func.attr == "exit":
+            exits.append(node)
+    return enters, exits
+
+
+@register
+class ProfilerScopeConvention(Rule):
+    """OBS002: profiler scope labels are literals; enter/exit pair up."""
+
+    rule_id = "OBS002"
+    summary = "profiler scope label must be a literal and enter/exit balanced"
+    rationale = (
+        "Flamegraph frames are documentation: a computed label cannot be "
+        "grepped or listed in docs/performance.md, and an unbalanced "
+        "enter/exit corrupts every enclosing frame's self-time. Each "
+        "function (and the module top level) must open exactly as many "
+        "profiler scopes as it closes — use try/finally."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel.endswith(PROFILER_EXEMPT_FILES):
+            return
+        scopes: list[list[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            enters, exits = _prof_scope_calls(body)
+            for call in enters:
+                arg = first_argument(call, keyword="label")
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and _NAME_RE.match(arg.value)
+                ):
+                    continue
+                yield self.finding(
+                    ctx,
+                    arg if arg is not None else call,
+                    "profiler scope label passed to .enter() must be a "
+                    "lowercase dot.separated string literal",
+                )
+            if len(enters) != len(exits):
+                anchor = (enters or exits)[0]
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"unbalanced profiler scopes in this function: "
+                    f"{len(enters)} .enter() vs {len(exits)} .exit() — "
+                    "pair them with try/finally in the same scope",
+                )
+
+
 @register
 class MetricNameConvention(Rule):
     """OBS001: instrument names must be statically greppable literals."""

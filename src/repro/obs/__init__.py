@@ -20,6 +20,25 @@ Perfetto-loadable trace-event files.
 """
 
 from repro.obs.chrome import chrome_events, export_chrome, validate_chrome_trace
+from repro.obs.ledger import (
+    LedgerRecord,
+    Trend,
+    append_records,
+    bench_records,
+    collect_meta,
+    load_ledger,
+    trends,
+)
+from repro.obs.prof import (
+    NULL_PROFILER,
+    FrameStat,
+    NullProfiler,
+    SimProfiler,
+    attribution,
+    collapsed_lines,
+    counter_samples,
+    write_collapsed,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -47,29 +66,44 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FrameStat",
     "Gauge",
     "Histogram",
+    "LedgerRecord",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullProfiler",
     "NullRegistry",
     "NullTracer",
     "RequestPath",
     "RunExport",
     "Scope",
+    "SimProfiler",
     "Span",
     "SpanStore",
     "SpanTree",
     "Tracer",
+    "Trend",
     "analyze_requests",
+    "append_records",
+    "attribution",
+    "bench_records",
     "chrome_events",
+    "collapsed_lines",
+    "collect_meta",
     "conformance",
+    "counter_samples",
     "critical_path",
     "export_chrome",
     "export_run",
     "load_export",
+    "load_ledger",
     "render_comparison",
     "render_report",
     "summarize_paths",
+    "trends",
     "validate_chrome_trace",
+    "write_collapsed",
 ]

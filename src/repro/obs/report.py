@@ -137,6 +137,38 @@ def critical_path_table(export: RunExport) -> str:
     )
 
 
+# ------------------------------------------------------------------- profiling
+def hottest_handlers_table(export: RunExport, top: int = 10) -> str:
+    """Top-N frames by simulated CPU (host self-time as the tiebreak).
+
+    Empty when the export carries no profiler records (``repro run
+    --profiling`` / ``ClusterSpec(profiling=True)`` produce them).
+    """
+    frames = [r for r in export.prof if r.get("calls")]
+    if not frames:
+        return ""
+    frames.sort(
+        key=lambda r: (
+            -(r.get("sim_ns") or 0),
+            -(r.get("host_ns") or 0),
+            tuple(r.get("path") or ()),
+        )
+    )
+    rows: list[list[object]] = []
+    for record in frames[:top]:
+        rows.append(
+            [
+                ";".join(record.get("path") or ()),
+                record.get("calls", 0),
+                f"{(record.get('sim_ns') or 0) / 1e6:.3f}",
+                f"{(record.get('host_ns') or 0) / 1e6:.3f}",
+            ]
+        )
+    return f"Hottest handlers (top {len(rows)}, exclusive)\n" + format_table(
+        ["frame", "calls", "sim ms", "host ms"], rows
+    )
+
+
 # ------------------------------------------------------------------ comparison
 def compare_table(a: RunExport, b: RunExport) -> str:
     """Side-by-side message counters of two exports, with deltas."""
@@ -174,6 +206,7 @@ def render_report(export: RunExport) -> str:
             per_replica_table(export),
             phase_table(export),
             critical_path_table(export),
+            hottest_handlers_table(export),
         )
         if block
     ]

@@ -10,6 +10,10 @@ One run exports to one JSON-Lines file, self-describing record by record:
   "type": ...}`` — one per trace event when tracing was enabled;
 * ``{"record": "span", ...}`` — one per causal span
   (:meth:`repro.obs.spans.Span.to_record`) when request tracing was enabled;
+* ``{"record": "prof", "path": [...], "calls": ..., "sim_ns": ...,
+  "host_ns": ...}`` — one per profiler frame path when the run was
+  profiled (:mod:`repro.obs.prof`), powering the report's hottest-handlers
+  table;
 * ``{"record": "result", ...}`` — the :class:`repro.cluster.metrics.RunResult`
   aggregates.
 
@@ -81,6 +85,21 @@ def export_run(
     path = Path(path)
     spec = cluster.spec
     result = collect(cluster)
+    prof_records: list[dict[str, Any]] = []
+    profiler = getattr(cluster, "profiler", None)
+    if profiler is not None and profiler.enabled:
+        from repro.obs.prof.export import frame_rows  # local import: cycle guard
+
+        prof_records = [
+            {
+                "record": "prof",
+                "path": list(frame_path),
+                "calls": calls,
+                "sim_ns": sim_ns,
+                "host_ns": host_ns,
+            }
+            for frame_path, calls, sim_ns, host_ns in frame_rows(profiler)
+        ]
     with path.open("w", encoding="utf-8") as fh:
         _write_records(
             fh,
@@ -96,6 +115,7 @@ def export_run(
             registry=cluster.metrics,
             events=cluster.trace if (include_events and cluster.trace is not None) else (),
             spans=cluster.tracer.store.to_records() if cluster.tracer.enabled else (),
+            prof=prof_records,
             result={
                 "record": "result",
                 "duration": result.duration,
@@ -120,6 +140,7 @@ def _write_records(
     events: Iterable[Any],
     result: dict[str, Any],
     spans: Iterable[dict[str, Any]] = (),
+    prof: Iterable[dict[str, Any]] = (),
 ) -> None:
     fh.write(_dump(meta) + "\n")
     for record in registry_records(registry):
@@ -127,6 +148,8 @@ def _write_records(
     for record in trace_records(events):
         fh.write(_dump(record) + "\n")
     for record in spans:
+        fh.write(_dump(record) + "\n")
+    for record in prof:
         fh.write(_dump(record) + "\n")
     fh.write(_dump(result) + "\n")
 
@@ -142,6 +165,8 @@ class RunExport:
     histograms: dict[str, Histogram] = field(default_factory=dict)
     events: list[dict[str, Any]] = field(default_factory=list)
     spans: list[dict[str, Any]] = field(default_factory=list)
+    #: Profiler frame records (``{"path", "calls", "sim_ns", "host_ns"}``).
+    prof: list[dict[str, Any]] = field(default_factory=list)
     result: dict[str, Any] = field(default_factory=dict)
     #: Lines :func:`load_export` could not parse (blank lines excluded).
     skipped: int = 0
@@ -200,6 +225,8 @@ def load_export(path: str | Path) -> RunExport:
                 export.events.append(record)
             elif kind == "span":
                 export.spans.append(record)
+            elif kind == "prof":
+                export.prof.append(record)
             elif kind == "result":
                 export.result = record
             else:

@@ -34,6 +34,7 @@ from heapq import heapify, heappop, heappush
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs.prof.profiler import NULL_PROFILER, NullProfiler, SimProfiler
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.util.seq import SequenceGenerator
 
@@ -118,6 +119,11 @@ class Kernel:
         #: Observability sink (gauges updated at the end of each run());
         #: deliberately off the per-event hot path.
         self.metrics: MetricsRegistry = NULL_REGISTRY
+        #: Sim-profiler (:mod:`repro.obs.prof`). When enabled, :meth:`run`
+        #: dispatches to :meth:`_run_profiled` — the bare loop below stays
+        #: byte-for-byte untouched, so disabled profiling costs exactly one
+        #: attribute check per run() call.
+        self.profiler: SimProfiler | NullProfiler = NULL_PROFILER
 
     # ------------------------------------------------------------------ time
     @property
@@ -248,6 +254,8 @@ class Kernel:
         on return even if the heap drained earlier — so back-to-back ``run``
         calls behave like contiguous wall-clock intervals.
         """
+        if self.profiler.enabled:
+            return self._run_profiled(until, max_events)
         if self._running:
             raise SimulationError("kernel.run() is not reentrant")
         self._running = True
@@ -286,6 +294,96 @@ class Kernel:
                     event.cancelled = False
                     pool.append(event)
                 processed += 1
+        finally:
+            self.events_processed += processed
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        if self.metrics.enabled:
+            self.metrics.gauge("kernel.events_processed").set(self.events_processed)
+            self.metrics.gauge("kernel.vtime").set(self._now)
+            self.metrics.gauge("kernel.heap_size").set(len(self._heap))
+        return processed
+
+    def _run_profiled(self, until: float | None, max_events: int | None) -> int:
+        """:meth:`run` with profiler hooks — an exact mirror of the bare
+        loop (same pop order, cancellation handling, pool recycling, clock
+        advance, end-of-run gauges) plus, per event: one host-time frame
+        labeled with the callback's qualname, and a deterministic counter
+        sample whenever virtual time crosses ``profiler.next_sample``.
+
+        Kept separate so the unprofiled hot path carries zero extra work;
+        the byte-identical-results invariant between the two loops is
+        pinned by tests/integration/test_profiler.py.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        processed = 0
+        heap = self._heap
+        pool = self._pool
+        unlimited = max_events is None
+        profiler = self.profiler
+        # The event frame is inlined rather than going through
+        # profiler.enter_event/exit_event: this loop is the profiled hot
+        # path and the perf tier bounds its overhead over the bare loop.
+        # run() is not reentrant and handler scopes are balanced (OBS002),
+        # so the scope stack is empty at every dispatch — the event frame's
+        # parent is always the root and no parent propagation is needed.
+        from repro.obs.prof.profiler import _Node
+
+        stack = profiler._stack
+        root_children = profiler._root.children
+        host_clock = profiler.host_clock
+        try:
+            while heap:
+                if not unlimited and processed >= max_events:
+                    break
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
+                    if event.pooled:
+                        event.args = ()
+                        pool.append(event)
+                    continue
+                time = head[0]
+                if until is not None and time > until:
+                    break
+                heappop(heap)
+                self._now = time
+                fn = event.fn
+                args = event.args
+                event.cancelled = True
+                event.fn = None
+                event.args = ()
+                assert fn is not None
+                label = fn.__qualname__
+                node = root_children.get(label)
+                if node is None:
+                    node = root_children[label] = _Node(label)
+                entry = [node, host_clock(), 0]
+                stack.append(entry)
+                try:
+                    fn(*args)
+                finally:
+                    elapsed = host_clock() - entry[1]
+                    stack.pop()
+                    stat = node.stat
+                    stat.calls += 1
+                    stat.host_ns += elapsed - entry[2]
+                if event.pooled:
+                    event.cancelled = False
+                    pool.append(event)
+                processed += 1
+                if self._now >= profiler.next_sample:
+                    profiler.sample(
+                        self._now,
+                        self.events_processed + processed,
+                        len(heap),
+                        len(pool),
+                    )
         finally:
             self.events_processed += processed
             self._running = False

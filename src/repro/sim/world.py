@@ -25,6 +25,7 @@ from collections.abc import Callable, Iterable
 from typing import Any, Protocol as TypingProtocol
 
 from repro.errors import SimulationError
+from repro.obs.prof.profiler import NULL_PROFILER, FrameStat, NullProfiler, SimProfiler
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.spans import Span
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
@@ -122,6 +123,7 @@ class World:
         metrics: MetricsRegistry | None = None,
         measure_bytes: bool = False,
         tracer: "Tracer | NullTracer | None" = None,
+        profiler: "SimProfiler | NullProfiler | None" = None,
     ) -> None:
         self.kernel = kernel
         self.network: NetworkLike = network if network is not None else ZeroLatencyNetwork()
@@ -136,6 +138,10 @@ class World:
         #: are never touched, and the event schedule is identical with
         #: tracing on or off.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Sim-profiler (:mod:`repro.obs.prof`). Passive like the tracer:
+        #: it reads the CPU-cost constants and the host clock but never an
+        #: RNG or a schedule, so profiled runs are byte-identical.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._measure_bytes = measure_bytes and self.metrics.enabled
         self._processes: dict[ProcessId, Process] = {}
         self._cpus: dict[ProcessId, CpuModel] = {}
@@ -150,6 +156,14 @@ class World:
         ] = {}
         self._recv_instruments: dict[tuple[ProcessId, type], tuple[Any, Any]] = {}
         self._drop_instruments: dict[type, Any] = {}
+        # Profiler caches, same pattern: one dict hit per message when
+        # profiling is on. Send/recv entries are (FrameStat, cpu_cost) —
+        # the cost constants are frozen per process, so they are resolved
+        # once per (src, dst, type). Handler entries are the interned
+        # (actor_frame, handler_frame) label pair.
+        self._prof_send: dict[tuple[ProcessId, ProcessId, type], tuple[FrameStat, float]] = {}
+        self._prof_recv: dict[tuple[ProcessId, ProcessId, type], tuple[FrameStat, float]] = {}
+        self._prof_handle: dict[tuple[ProcessId, type], tuple[str, str]] = {}
 
     # -------------------------------------------------------------- registry
     def add(self, process: Process, cpu: CpuProfile | None = None) -> Process:
@@ -186,7 +200,15 @@ class World:
     def _start_one(self, pid: ProcessId) -> None:
         process = self._processes[pid]
         if process.alive:
-            process.on_start()
+            profiler = self.profiler
+            if profiler.enabled:
+                profiler.enter_handler(str(pid), "on_start")
+                try:
+                    process.on_start()
+                finally:
+                    profiler.exit_handler()
+            else:
+                process.on_start()
 
     # ------------------------------------------------------------- messaging
     def _count_drop(self, msg: Any) -> None:
@@ -240,6 +262,20 @@ class World:
             )
         kernel = self.kernel
         depart = self._cpus[src].send_completion(kernel._now)
+        profiler = self.profiler
+        if profiler.enabled:
+            pkey = (src, dst, type(msg))
+            pentry = self._prof_send.get(pkey)
+            if pentry is None:
+                cpu = self._cpus[src].profile
+                pentry = self._prof_send[pkey] = (
+                    profiler.stat(
+                        (str(src),
+                         f"send.{type(msg).__name__}.{profiler.actor_kind(dst)}")
+                    ),
+                    cpu.send_cost + cpu.extra_per_message,
+                )
+            pentry[0].add_cpu(pentry[1])
         copies = self.network.delays(src, dst, depart)
         if not copies:
             if self.trace is not None:
@@ -293,6 +329,20 @@ class World:
             return
         kernel = self.kernel
         completion = self._cpus[dst].recv_completion(kernel._now)
+        profiler = self.profiler
+        if profiler.enabled:
+            pkey = (src, dst, type(msg))
+            pentry = self._prof_recv.get(pkey)
+            if pentry is None:
+                cpu = self._cpus[dst].profile
+                pentry = self._prof_recv[pkey] = (
+                    profiler.stat(
+                        (str(dst),
+                         f"recv.{type(msg).__name__}.{profiler.actor_kind(src)}")
+                    ),
+                    cpu.recv_cost + cpu.extra_per_message,
+                )
+            pentry[0].add_cpu(pentry[1])
         kernel.post_at(completion, self._handle, src, dst, msg, self._epochs[dst], span)
 
     def _handle(
@@ -321,16 +371,29 @@ class World:
                 )
             entry[0].inc()
             entry[1].inc()
+        profiler = self.profiler
+        if profiler.enabled:
+            pkey = (dst, type(msg))
+            frames = self._prof_handle.get(pkey)
+            if frames is None:
+                frames = self._prof_handle[pkey] = (
+                    str(dst), "on_message." + type(msg).__name__,
+                )
+            profiler.enter_handler(frames[0], frames[1])
         tracer = self.tracer
-        if tracer.enabled:
-            tracer.end(span)  # duplicate copies keep the first delivery's end
-            token = tracer.activate(span)
-            try:
+        try:
+            if tracer.enabled:
+                tracer.end(span)  # duplicate copies keep the first delivery's end
+                token = tracer.activate(span)
+                try:
+                    receiver.on_message(src, msg)
+                finally:
+                    tracer.restore(token)
+            else:
                 receiver.on_message(src, msg)
-            finally:
-                tracer.restore(token)
-        else:
-            receiver.on_message(src, msg)
+        finally:
+            if profiler.enabled:
+                profiler.exit_handler()
 
     # ----------------------------------------------------------------- timers
     def _set_timer(
@@ -340,17 +403,25 @@ class World:
         # Timers carry the ambient span across the delay: a retransmit or a
         # deferred execution stays inside the request that armed it.
         ctx = self.tracer.current
+        # Profiler frames are resolved at arm time (the profiler is fixed
+        # for a run), so a disabled run closes over None and pays nothing.
+        tframes = (str(pid), "timer." + fn.__name__) if self.profiler.enabled else None
 
         def fire() -> None:
             process = self._processes[pid]
             if process.alive and self._epochs[pid] == epoch:
                 if self.trace is not None:
                     self.trace.emit(self.kernel.now, "timer", pid, None, fn.__name__)
+                profiler = self.profiler
+                if tframes is not None and profiler.enabled:
+                    profiler.enter_handler(tframes[0], tframes[1])
                 token = self.tracer.activate(ctx)
                 try:
                     fn(*args)
                 finally:
                     self.tracer.restore(token)
+                    if tframes is not None and profiler.enabled:
+                        profiler.exit_handler()
 
         return _SimTimer(self.kernel.schedule(delay, fire))
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.cli import _md_table, build_experiments_report, main
@@ -126,3 +128,120 @@ class TestChaosCommand:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--protocol", "raft"])
+
+
+class TestProfileCommand:
+    def test_profile_prints_tables(self, capsys):
+        assert main(["profile", "--requests", "6", "--clients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest handlers" in out
+        assert "Sim-CPU attribution" in out
+        assert re.search(r"^E\s", out, re.M)
+
+    def test_profile_writes_collapsed_and_chrome(self, tmp_path, capsys):
+        flame = tmp_path / "flame.txt"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "profile", "--requests", "6", "--execute-time", "0.001",
+            "--out", str(flame), "--chrome", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        lines = flame.read_text().splitlines()
+        assert lines and all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        from repro.obs.chrome import validate_chrome_trace
+
+        assert validate_chrome_trace(trace)["counter_events"] > 0
+
+    def test_profile_host_metric_out(self, tmp_path, capsys):
+        flame = tmp_path / "host.txt"
+        assert main([
+            "profile", "--requests", "6", "--out", str(flame),
+            "--metric", "host",
+        ]) == 0
+        capsys.readouterr()
+        assert flame.read_text().strip()
+
+
+class TestPerfCommand:
+    def _bench_doc(self, value):
+        return {
+            "schema": 2,
+            "name": "rrt_sysnet",
+            "text": "",
+            "data": None,
+            "metrics": {
+                "rrt_write_s": {
+                    "value": value, "unit": "s", "direction": "lower",
+                },
+            },
+            "meta": {"commit": "t" * 7},
+        }
+
+    def _record(self, tmp_path, ledger, value, idx):
+        import json
+
+        doc = tmp_path / f"BENCH_rrt_{idx}.json"
+        doc.write_text(json.dumps(self._bench_doc(value)))
+        assert main([
+            "perf", "record", str(doc), "--ledger", str(ledger),
+        ]) == 0
+
+    def test_record_then_flat_check_passes(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        for i, v in enumerate([1.0, 1.01, 0.99, 1.0, 1.005]):
+            self._record(tmp_path, ledger, v, i)
+        capsys.readouterr()
+        assert main(["perf", "check", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "rrt_write_s" in out and "ok" in out
+
+    def test_seeded_regression_fails_check(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        for i, v in enumerate([1.0, 1.01, 0.99, 1.0, 1.3]):  # +30% step
+            self._record(tmp_path, ledger, v, i)
+        capsys.readouterr()
+        code = main(["perf", "check", "--ledger", str(ledger)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION" in captured.err
+        assert "rrt_write_s" in captured.err
+
+    def test_trend_renders_table(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        for i, v in enumerate([1.0, 1.0, 1.0, 1.0]):
+            self._record(tmp_path, ledger, v, i)
+        capsys.readouterr()
+        assert main(["perf", "trend", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "rrt_sysnet" in out and "rrt_write_s" in out
+
+    def test_check_on_missing_ledger_passes(self, tmp_path, capsys):
+        assert main([
+            "perf", "check", "--ledger", str(tmp_path / "absent.jsonl"),
+        ]) == 0
+
+    def test_record_from_results_dir_glob(self, tmp_path, capsys):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        (tmp_path / "BENCH_a.json").write_text(json.dumps(self._bench_doc(1.0)))
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert main([
+            "perf", "record", "--results-dir", str(tmp_path),
+            "--ledger", str(ledger),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 metric(s)" in out
+
+    def test_legacy_bench_doc_warn_skipped(self, tmp_path, capsys):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        doc = tmp_path / "BENCH_old.json"
+        doc.write_text(json.dumps({"name": "old", "text": "", "data": None}))
+        assert main([
+            "perf", "record", str(doc), "--ledger", str(ledger),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "legacy" in captured.err
+        assert not ledger.exists()

@@ -275,6 +275,98 @@ class TestMetricNameConvention:
         assert rule_ids(src, rel="repro/obs/registry.py") == []
 
 
+# ------------------------------------------------------------------ OBS002
+class TestProfilerScopeConvention:
+    def test_balanced_literal_scope_allowed(self):
+        src = (
+            "def f(self):\n"
+            "    self.profiler.enter('execute')\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        self.profiler.exit()\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_computed_label_flagged(self):
+        src = (
+            "def f(self, label):\n"
+            "    self.profiler.enter(label)\n"
+            "    self.profiler.exit()\n"
+        )
+        assert rule_ids(src) == ["OBS002"]
+
+    def test_fstring_label_flagged(self):
+        src = (
+            "def f(prof, kind):\n"
+            "    prof.enter(f'execute.{kind}')\n"
+            "    prof.exit()\n"
+        )
+        assert rule_ids(src) == ["OBS002"]
+
+    def test_uppercase_label_flagged(self):
+        src = "def f(prof):\n    prof.enter('Execute')\n    prof.exit()\n"
+        assert rule_ids(src) == ["OBS002"]
+
+    def test_unbalanced_enter_flagged(self):
+        src = "def f(profiler):\n    profiler.enter('apply')\n    work()\n"
+        assert rule_ids(src) == ["OBS002"]
+
+    def test_unbalanced_exit_flagged(self):
+        src = "def f(profiler):\n    profiler.exit()\n"
+        assert rule_ids(src) == ["OBS002"]
+
+    def test_balance_is_per_function_scope(self):
+        # An enter in one function cannot be closed by an exit in another.
+        src = (
+            "def opens(prof):\n"
+            "    prof.enter('propose')\n"
+            "\n"
+            "def closes(prof):\n"
+            "    prof.exit()\n"
+        )
+        assert rule_ids(src) == ["OBS002", "OBS002"]
+
+    def test_nested_function_scopes_independent(self):
+        src = (
+            "def outer(prof):\n"
+            "    prof.enter('txn')\n"
+            "    def inner():\n"
+            "        prof.enter('read')\n"
+            "        prof.exit()\n"
+            "    try:\n"
+            "        inner()\n"
+            "    finally:\n"
+            "        prof.exit()\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_event_aliases_not_matched(self):
+        # The kernel's dynamic-label event frames use the enter_event /
+        # exit_event aliases on purpose; OBS002 keys only on .enter/.exit.
+        src = (
+            "def loop(profiler, fn):\n"
+            "    profiler.enter_event(fn.__qualname__)\n"
+            "    fn()\n"
+            "    profiler.exit_event()\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_non_profiler_receiver_not_matched(self):
+        src = "def f(ctx):\n    ctx.enter(compute_name())\n"
+        assert rule_ids(src) == []
+
+    def test_profiler_module_itself_exempt(self):
+        src = (
+            "def enter(self, label):\n"
+            "    self._stack.append(label)\n"
+            "\n"
+            "def f(profiler, label):\n"
+            "    profiler.enter(label)\n"
+        )
+        assert rule_ids(src, rel="repro/obs/prof/profiler.py") == []
+
+
 # ------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_reasoned_suppression_silences_finding(self):
