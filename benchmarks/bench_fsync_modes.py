@@ -1,0 +1,111 @@
+"""Stable-storage ablation — the price of durability barriers.
+
+The simulator models three fsync disciplines (:mod:`repro.storage`):
+``async`` (the legacy zero-latency semantics: appends are durable at
+once), ``sync`` (every durability barrier waits one modeled device
+fsync) and ``group`` (barriers ride a shared group-commit fsync).
+
+We run the same write workload under each mode and measure completion
+time, request throughput and how many device fsyncs the run cost.
+Expected: ``async`` fastest with zero fsyncs; ``sync`` and ``group``
+both pay for durability. The measured fine print is a classic group
+commit result: the consensus pipeline already coalesces one batch of
+requests per round into a single barrier, so at closed-loop
+concurrency the group window finds nothing extra to merge — it matches
+``sync``'s fsync count and only adds its waiting time. Group commit
+pays off when the log device is contended (fsync slower than the round
+time), not as a free default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.client.workload import single_kind_steps
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.cluster.metrics import collect
+from repro.services.counter import CounterService
+from repro.storage import FSYNC_MODES
+from repro.types import RequestKind
+from repro.util.tables import format_table
+from tests.conftest import make_test_profile
+
+N_CLIENTS = 8          # group commit amortizes across *concurrent* barriers
+STEPS_PER_CLIENT = 25
+CLIENT_TIMEOUT = 0.2
+
+
+def run(fsync: str):
+    workloads = [
+        single_kind_steps(RequestKind.WRITE, STEPS_PER_CLIENT, op=("add", 1))
+        for _ in range(N_CLIENTS)
+    ]
+    spec = ClusterSpec(
+        profile=make_test_profile(latency=1e-3),
+        seed=11,
+        client_timeout=CLIENT_TIMEOUT,
+        fsync=fsync,
+    )
+    cluster = Cluster(spec, workloads, service_factory=CounterService)
+    cluster.run(max_time=300.0)
+    result = collect(cluster)
+    counters = cluster.metrics.counters()
+    fsyncs = sum(v for k, v in counters.items() if k.endswith("storage.fsyncs"))
+    appends = sum(v for k, v in counters.items() if k.endswith("storage.appends"))
+    assert result.total_requests == N_CLIENTS * STEPS_PER_CLIENT
+    return result.duration, result.throughput, fsyncs, appends
+
+
+def compute():
+    rows = []
+    series = {}
+    for fsync in FSYNC_MODES:
+        duration, throughput, fsyncs, appends = run(fsync)
+        series[fsync] = {
+            "duration_s": duration,
+            "throughput_rps": throughput,
+            "fsyncs": fsyncs,
+            "appends": appends,
+        }
+        rows.append(
+            [fsync, f"{duration * 1e3:.1f}", f"{throughput:.0f}",
+             fsyncs, appends]
+        )
+    text = (
+        "stable storage — one write workload under each fsync discipline\n"
+        "expected: async fastest (no barriers); sync and group both pay for\n"
+        "durability; the pipeline already batches one barrier per consensus\n"
+        "round, so group matches sync's fsync count and adds window latency\n"
+        + format_table(
+            ["fsync", "duration (ms)", "req/s", "fsyncs", "appends"], rows
+        )
+    )
+    return text, series
+
+
+@pytest.mark.benchmark(group="fsync_modes")
+def test_fsync_mode_cost(once):
+    text, series = once(compute)
+    emit("fsync_modes", text,
+         data={"series": series},
+         metrics={
+             f"{fsync}_throughput": {
+                 "value": series[fsync]["throughput_rps"],
+                 "unit": "req/s", "direction": "higher",
+             }
+             for fsync in series
+         },
+         profile="test", protocol="basic")
+    # Durability barriers cost modeled time...
+    assert series["async"]["duration_s"] < series["sync"]["duration_s"]
+    assert series["async"]["duration_s"] < series["group"]["duration_s"]
+    # ...the group window adds latency on top of the fsync itself...
+    assert series["group"]["duration_s"] >= series["sync"]["duration_s"]
+    # ...and async never touches the fsync machinery.
+    assert series["async"]["fsyncs"] == 0
+    assert series["sync"]["fsyncs"] > 0
+    # The pipeline batches one barrier per round: group cannot need *more*
+    # fsyncs than sync, and both amortize far below one per append.
+    assert series["group"]["fsyncs"] <= series["sync"]["fsyncs"]
+    assert series["sync"]["fsyncs"] < series["sync"]["appends"]

@@ -26,6 +26,12 @@ of §3.1, plus the X-/T-Paxos extensions of §3.4–3.6):
 * ``linearizability`` — reads and writes of the designated register form a
   linearizable history (covers X-Paxos read freshness, §3.4: a read "must
   reflect the latest update").
+* ``acked_durability`` — every client-acknowledged write survives on
+  stable storage: its request id is covered by the durable WAL records
+  (or checkpoint rid-folds) of the replicas whose storage is intact.
+  Enforced only while at least a majority of devices are intact — below
+  that the system is allowed to have lost data (the paper's crash-
+  recovery model assumes a majority of stable stores survive).
 * ``liveness`` — once faults stop and a majority is stable, every client
   finishes its workload before the grace deadline.
 """
@@ -37,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
 from repro.analysis.linearizability import check_register, history_from_clients
-from repro.types import RequestKind
+from repro.types import ReplyStatus, RequestKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.harness import Cluster
@@ -50,6 +56,7 @@ INVARIANTS = (
     "state_convergence",
     "txn_atomicity",
     "linearizability",
+    "acked_durability",
     "liveness",
     "runtime",
 )
@@ -274,6 +281,52 @@ def check_linearizability(
     ]
 
 
+def check_acked_durability(
+    clients: Iterable,
+    snapshots: Sequence[Mapping[str, Any]],
+    majority: int,
+) -> list[Violation]:
+    """Every acknowledged write must be durable on some intact device.
+
+    The durability barriers guarantee that an acked write has its accept
+    record fsynced on a majority of replicas, so as long as at least
+    ``majority`` devices are intact, *some* intact replica still holds
+    every acked request id — in its durable WAL tail or folded into its
+    checkpoint. With fewer intact devices the check stands down: losing
+    data beyond the fault model's budget is permitted (and unavoidable).
+    """
+    intact = [snap for snap in snapshots if snap["storage_intact"]]
+    if len(intact) < majority:
+        return []
+    covered: set[str] = set()
+    for snap in intact:
+        covered.update(snap["durable_rids"])
+    violations: list[Violation] = []
+    for client in clients:
+        for record in client.request_records():
+            if record.kind not in (RequestKind.WRITE, RequestKind.TXN_COMMIT):
+                continue
+            if record.completed_at is None or record.status is not ReplyStatus.OK:
+                continue
+            rid = str(record.rid)
+            if rid not in covered:
+                violations.append(
+                    Violation(
+                        "acked_durability",
+                        f"acked {record.kind.value} {rid} (client {client.pid}, "
+                        f"completed t={record.completed_at:.4f}s) is on no "
+                        f"intact stable store "
+                        f"({len(intact)}/{len(snapshots)} devices intact)",
+                        data={
+                            "rid": rid,
+                            "client": client.pid,
+                            "intact": [snap["pid"] for snap in intact],
+                        },
+                    )
+                )
+    return violations
+
+
 def check_liveness(clients: Iterable, deadline: float) -> list[Violation]:
     """After faults stop, every client must finish by ``deadline``."""
     violations: list[Violation] = []
@@ -323,6 +376,16 @@ def check_cluster(
         violations.extend(
             check_linearizability(
                 cluster.clients, register_key, initial=register_initial
+            )
+        )
+    # Durability accounting needs the checkpoint rid-fold, which is only
+    # recorded when the cluster runs with track_commits (chaos trials with
+    # a real fsync barrier enable it; write-through runs would see false
+    # positives for rids compacted out of the WAL).
+    if cluster.config.track_commits:
+        violations.extend(
+            check_acked_durability(
+                cluster.clients, snapshots, cluster.config.majority
             )
         )
     if liveness_deadline is not None:

@@ -33,6 +33,7 @@ from repro.core.config import ReplicaConfig
 from repro.errors import ConfigError, ReproError, SimulationError
 from repro.net.profiles import get_profile
 from repro.services.kvstore import KVStoreService
+from repro.storage import FSYNC_MODES
 from repro.types import RequestKind
 
 #: The shared register every workload hammers; the linearizability and
@@ -64,6 +65,15 @@ class ChaosOptions:
     #: during partial view changes) are swept before the final invariant
     #: check; the post-run drain must outlast ``1.5 * txn_timeout``.
     txn_timeout: float = 0.5
+    #: Stable-storage durability mode for the replicas (see
+    #: :data:`repro.storage.FSYNC_MODES`). ``async`` keeps the legacy
+    #: write-through device; ``sync``/``group`` model real fsync barriers.
+    fsync: str = "async"
+    #: Also sample storage nemeses (torn writes, lying fsyncs, disk
+    #: stalls, record rot) into the schedule. Requires a real durability
+    #: boundary — with ``fsync="async"`` every write is instantly durable
+    #: and the nemeses would be inert no-ops.
+    storage_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -73,6 +83,20 @@ class ChaosOptions:
         if self.mutation is not None and self.mutation not in MUTATIONS:
             raise ConfigError(
                 f"unknown mutation {self.mutation!r}; known: {sorted(MUTATIONS)}"
+            )
+        if self.fsync not in FSYNC_MODES:
+            raise ConfigError(
+                f"unknown fsync mode {self.fsync!r}; known: {FSYNC_MODES}"
+            )
+        if self.storage_faults and self.fsync == "async":
+            raise ConfigError(
+                "storage_faults requires fsync='sync' or 'group' "
+                "(async is write-through: storage nemeses would be no-ops)"
+            )
+        if self.mutation == "skip-fsync" and self.fsync == "async":
+            raise ConfigError(
+                "the skip-fsync mutation requires fsync='sync' or 'group' "
+                "(with async there is no fsync to skip)"
             )
 
     @property
@@ -186,9 +210,23 @@ def _mutate_minority_accept(cluster: Cluster) -> None:
         replica.config = broken
 
 
+def _mutate_skip_fsync(cluster: Cluster) -> None:
+    """Ack client writes without waiting for (or ever issuing) an fsync.
+
+    The classic "it's in the page cache, ship it" durability bug: every
+    barrier completes immediately while the WAL records rot in the device
+    cache. Any crash then strands acknowledged writes below a majority of
+    durable copies — which is exactly what the ``acked_durability``
+    invariant asserts cannot happen. Test-only."""
+    for replica in cluster.replicas.values():
+        replica.store.flush = lambda callback: callback()  # type: ignore[method-assign]
+        replica.store._start_fsync = lambda: None  # type: ignore[method-assign]
+
+
 #: name -> callable(cluster) applied after construction, before start.
 MUTATIONS: Mapping[str, Callable[[Cluster], None]] = {
     "minority-accept": _mutate_minority_accept,
+    "skip-fsync": _mutate_skip_fsync,
 }
 
 
@@ -207,6 +245,12 @@ def build_cluster(options: ChaosOptions, seed: int) -> Cluster:
         elector="manual",
         tracing=options.tracing,
         connection_scaling=False,
+        fsync=options.fsync,
+        # Fold committed rids into checkpoints/state transfer so the
+        # acked-durability check can account for compacted WAL prefixes.
+        # Only wired up when the durability boundary is real: with async
+        # fsync the trial stays byte-identical to pre-storage chaos runs.
+        track_commits=options.fsync != "async",
     )
     cluster = Cluster(
         spec, build_workload(options, seed), service_factory=KVStoreService
@@ -264,6 +308,7 @@ def run_with_schedule(
         name: value
         for name, value in cluster.metrics.counters().items()
         if name.startswith(("fault.", "client.retransmit", "net.drop", "net.dup"))
+        or ".storage." in name
     }
     return ChaosResult(
         seed=schedule.seed,
@@ -288,5 +333,6 @@ def run_chaos(
         horizon=options.horizon,
         intensity=options.intensity,
         allow_majority_loss=options.allow_majority_loss,
+        storage=options.storage_faults,
     )
     return run_with_schedule(schedule, options, keep_cluster=keep_cluster)

@@ -40,7 +40,14 @@ EVENT_KINDS = (
     "loss_burst",
     "dup_burst",
     "latency_spike",
+    "torn_write",
+    "lost_fsync",
+    "disk_stall",
+    "corrupt_record",
 )
+
+#: The storage-nemesis subset (only sampled with ``storage=True``).
+STORAGE_KINDS = ("torn_write", "lost_fsync", "disk_stall", "corrupt_record")
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +62,14 @@ class NemesisEvent:
     * ``loss_burst`` / ``dup_burst`` — ``value`` is the probability,
       ``duration`` the burst length.
     * ``latency_spike`` — ``value`` is the extra one-way latency in seconds.
+    * ``torn_write`` — ``pids`` holds the target; arms one torn write on
+      its stable-storage device (fires at the next crash).
+    * ``lost_fsync`` — ``pids`` + ``duration``: the device acknowledges
+      fsyncs without persisting for the window.
+    * ``disk_stall`` — ``pids`` + ``duration``; ``value`` is the extra
+      seconds added to each fsync started in the window.
+    * ``corrupt_record`` — ``pids``; ``value`` is the log fraction whose
+      durable record gets a flipped bit.
     """
 
     at: float
@@ -80,6 +95,20 @@ class NemesisEvent:
             return f"{self.at:.4f}s partition [{sides}]"
         if self.kind == "heal":
             return f"{self.at:.4f}s heal"
+        if self.kind == "torn_write":
+            return f"{self.at:.4f}s torn_write {self.pids[0]}"
+        if self.kind == "lost_fsync":
+            return (
+                f"{self.at:.4f}s lost_fsync {self.pids[0]} "
+                f"duration={self.duration:g}"
+            )
+        if self.kind == "disk_stall":
+            return (
+                f"{self.at:.4f}s disk_stall {self.pids[0]} "
+                f"duration={self.duration:g} extra={self.value:g}"
+            )
+        if self.kind == "corrupt_record":
+            return f"{self.at:.4f}s corrupt_record {self.pids[0]} at {self.value:g}"
         return (
             f"{self.at:.4f}s {self.kind} value={self.value:g} "
             f"duration={self.duration:g}"
@@ -148,6 +177,17 @@ class NemesisSchedule:
                 fs.dup_burst(event.value, at=event.at, duration=event.duration)
             elif event.kind == "latency_spike":
                 fs.latency_spike(event.value, at=event.at, duration=event.duration)
+            elif event.kind == "torn_write":
+                fs.torn_write(event.pids[0], at=event.at)
+            elif event.kind == "lost_fsync":
+                fs.lost_fsync(event.pids[0], at=event.at, duration=event.duration)
+            elif event.kind == "disk_stall":
+                fs.disk_stall(
+                    event.pids[0], at=event.at,
+                    duration=event.duration, extra=event.value,
+                )
+            elif event.kind == "corrupt_record":
+                fs.corrupt_record(event.pids[0], at=event.at, fraction=event.value)
             else:  # pragma: no cover - EVENT_KINDS guards this
                 raise ConfigError(f"unknown nemesis event kind {event.kind!r}")
         return fs
@@ -218,6 +258,25 @@ class NemesisSchedule:
                     f"schedule.latency_spike({event.value}, at={event.at}, "
                     f"duration={event.duration})"
                 )
+            elif event.kind == "torn_write":
+                lines.append(
+                    f"schedule.torn_write({event.pids[0]!r}, at={event.at})"
+                )
+            elif event.kind == "lost_fsync":
+                lines.append(
+                    f"schedule.lost_fsync({event.pids[0]!r}, at={event.at}, "
+                    f"duration={event.duration})"
+                )
+            elif event.kind == "disk_stall":
+                lines.append(
+                    f"schedule.disk_stall({event.pids[0]!r}, at={event.at}, "
+                    f"duration={event.duration}, extra={event.value})"
+                )
+            elif event.kind == "corrupt_record":
+                lines.append(
+                    f"schedule.corrupt_record({event.pids[0]!r}, at={event.at}, "
+                    f"fraction={event.value})"
+                )
         return "\n".join(lines)
 
 
@@ -233,6 +292,13 @@ class _GenState:
     heal_at: float | None = None
     leader: ProcessId = ""
     burst_until: float = 0.0
+    #: Replicas whose storage the schedule destroys (corrupt + restart →
+    #: fail-stop). Permanently down: never recovered, never re-elected.
+    poisoned: set[ProcessId] = field(default_factory=set)
+    #: pid -> end of its lying-fsync window. Crashing inside (or right
+    #: after) the window may poison the device, which the generator's
+    #: alive/down model cannot predict — so crashes steer clear of it.
+    lie_until: dict[ProcessId, float] = field(default_factory=dict)
 
     def advance_to(self, t: float) -> None:
         """Apply planned recoveries/heals that occur before ``t``."""
@@ -278,6 +344,7 @@ def generate_schedule(
     horizon: float = 2.0,
     intensity: float = 1.0,
     allow_majority_loss: bool = False,
+    storage: bool = False,
 ) -> NemesisSchedule:
     """Sample a coherent fault timeline for ``replicas`` from one seed.
 
@@ -286,6 +353,15 @@ def generate_schedule(
     bursts that take down a majority — safety must still hold (nothing can
     be committed without a majority), and the final recover-all restores
     liveness.
+
+    ``storage=True`` additionally samples stable-storage nemeses (torn
+    writes, lying fsyncs, disk stalls, record rot), carved out of the
+    network-burst probability slice so that ``storage=False`` draws an
+    identical event sequence to schedules generated before the knob
+    existed. A corrupted replica is paired with a crash + restart so its
+    replay hits the bad CRC and fail-stops; the generator treats it as
+    permanently down (it counts against the crash budget for the rest of
+    the run and is never recovered or re-elected).
     """
     pids = tuple(replicas)
     if len(pids) < 2:
@@ -296,6 +372,7 @@ def generate_schedule(
     state = _GenState(replicas=pids, leader=pids[0])
     events: list[NemesisEvent] = []
     used_crash: set[tuple[ProcessId, float]] = set()
+    used_recover: set[tuple[ProcessId, float]] = set()
     max_faults = (len(pids) - 1) // 2
 
     def emit(event: NemesisEvent) -> None:
@@ -333,8 +410,15 @@ def generate_schedule(
         at = round(t, 4)
         choice = rng.random()
         if choice < 0.30:
-            # Crash a replica (+ recovery later).
-            candidates = [p for p in pids if p not in state.down]
+            # Crash a replica (+ recovery later). Skip pids inside (or just
+            # past) a lying-fsync window: such a crash may poison the device
+            # and the generator's alive/down model could no longer trust the
+            # planned recovery.
+            candidates = [
+                p for p in pids
+                if p not in state.down
+                and t > state.lie_until.get(p, -1.0) + 0.05
+            ]
             over_budget = len(state.down) >= max_faults
             if candidates and (not over_budget or allow_majority_loss):
                 pid = candidates[rng.randrange(len(candidates))]
@@ -345,6 +429,7 @@ def generate_schedule(
                     downtime = 0.1 + rng.random() * min(1.0, horizon / 2)
                     back = round(min(t + downtime, horizon), 4)
                     state.pending_recover.append((back, pid))
+                    used_recover.add((pid, back))
                     emit(NemesisEvent(at=back, kind="recover", pids=(pid,)))
                     if pid == state.leader:
                         pick_new_leader(t + 0.01)
@@ -384,6 +469,91 @@ def generate_schedule(
                             scope=switch_scope(target),
                         )
                     )
+        elif storage and choice < 0.80:
+            # Stable-storage nemesis — carved out of the burst slice, so a
+            # storage=False run draws the exact same rng sequence as before
+            # the knob existed (this branch consumes rng only when taken).
+            roll = rng.random()
+            candidates = [
+                p for p in pids if p not in state.down
+            ]
+            if candidates:
+                pid = candidates[rng.randrange(len(candidates))]
+                if roll < 0.30:
+                    # Arm a torn write and crash so the tear actually
+                    # lands; replay truncates the torn tail and the
+                    # replica rejoins as usual.
+                    crash_at = round(t + 0.01, 4)
+                    clean = t > state.lie_until.get(pid, -1.0) + 0.05
+                    over_budget = len(state.down) >= max_faults
+                    if (
+                        clean
+                        and (not over_budget or allow_majority_loss)
+                        and (pid, crash_at) not in used_crash
+                        and crash_at < horizon
+                    ):
+                        used_crash.add((pid, crash_at))
+                        emit(NemesisEvent(at=at, kind="torn_write", pids=(pid,)))
+                        state.down.add(pid)
+                        emit(NemesisEvent(at=crash_at, kind="crash", pids=(pid,)))
+                        downtime = 0.1 + rng.random() * min(1.0, horizon / 2)
+                        back = round(min(t + 0.01 + downtime, horizon), 4)
+                        state.pending_recover.append((back, pid))
+                        used_recover.add((pid, back))
+                        emit(NemesisEvent(at=back, kind="recover", pids=(pid,)))
+                        if pid == state.leader:
+                            pick_new_leader(t + 0.02)
+                elif roll < 0.55:
+                    # Lying-fsync window: acks without persistence. Benign
+                    # on its own; the crash branches steer clear of the
+                    # window so the hazard stays latent by construction.
+                    duration = round(0.05 + rng.random() * 0.25, 4)
+                    state.lie_until[pid] = t + duration
+                    emit(
+                        NemesisEvent(
+                            at=at, kind="lost_fsync", pids=(pid,),
+                            duration=duration,
+                        )
+                    )
+                elif roll < 0.80:
+                    # Slow disk: every fsync started in the window takes
+                    # `extra` longer. Pure latency, never lost data.
+                    duration = round(0.1 + rng.random() * 0.4, 4)
+                    extra = round((1.0 + rng.random() * 9.0) * 1e-3, 6)
+                    emit(
+                        NemesisEvent(
+                            at=at, kind="disk_stall", pids=(pid,),
+                            value=extra, duration=duration,
+                        )
+                    )
+                else:
+                    # Rot a mid-log durable record and restart the victim:
+                    # replay hits the bad CRC and fail-stops, so the
+                    # replica is permanently gone — it burns crash budget
+                    # for the rest of the run.
+                    crash_at = round(t + 0.01, 4)
+                    over_budget = len(state.down) >= max_faults
+                    if (
+                        not over_budget
+                        and len(state.poisoned) < max_faults
+                        and (pid, crash_at) not in used_crash
+                        and crash_at < horizon
+                    ):
+                        used_crash.add((pid, crash_at))
+                        fraction = round(rng.random() * 0.8, 3)
+                        emit(
+                            NemesisEvent(
+                                at=at, kind="corrupt_record", pids=(pid,),
+                                value=fraction,
+                            )
+                        )
+                        state.down.add(pid)
+                        state.poisoned.add(pid)
+                        emit(NemesisEvent(at=crash_at, kind="crash", pids=(pid,)))
+                        back = round(min(t + 0.05, horizon), 4)
+                        emit(NemesisEvent(at=back, kind="recover", pids=(pid,)))
+                        if pid == state.leader:
+                            pick_new_leader(t + 0.02)
         else:
             # Network disturbance burst (loss / duplication / latency).
             if t >= state.burst_until:
@@ -410,13 +580,21 @@ def generate_schedule(
 
     # Final stabilization: heal, recover everyone, settle leadership. After
     # this point a majority is stable and the liveness invariant applies.
+    # Poisoned replicas stay down (their storage is gone; restarting them
+    # would only fail-stop again), and pids already scheduled to recover at
+    # exactly the horizon are not recovered twice.
     end = round(horizon, 4)
     emit(NemesisEvent(at=end, kind="heal"))
     for pid in pids:
+        if pid in state.poisoned or (pid, end) in used_recover:
+            continue
         emit(NemesisEvent(at=end, kind="recover", pids=(pid,)))
-    state.down.clear()
+    state.down = set(state.poisoned)
     state.groups = None
-    final_leader = state.leader if state.leader else pids[0]
+    if state.leader and state.leader not in state.poisoned:
+        final_leader = state.leader
+    else:
+        final_leader = next(p for p in pids if p not in state.poisoned)
     emit(NemesisEvent(at=round(end + 0.01, 4), kind="leader", pids=(final_leader,)))
 
     events.sort(key=lambda e: (e.at, EVENT_KINDS.index(e.kind)))

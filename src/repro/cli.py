@@ -234,6 +234,7 @@ def run_command(args: argparse.Namespace) -> int:
         trace=args.trace,
         tracing=args.tracing or bool(args.chrome),
         profiling=args.profiling,
+        fsync=args.fsync,
     )
     steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
     cluster = Cluster(spec, steps)
@@ -350,6 +351,8 @@ def chaos_command(args: argparse.Namespace) -> int:
         allow_majority_loss=args.allow_majority_loss,
         tracing=args.tracing,
         mutation=args.mutation,
+        fsync=args.fsync,
+        storage_faults=args.storage_faults,
     )
     workers = args.workers
     if workers > 1 and args.tracing:
@@ -688,6 +691,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     run.add_argument("--clients", type=int, default=1,
                      help="closed-loop client count (default: 1)")
     run.add_argument("--seed", type=int, default=0, help="simulation seed")
+    run.add_argument("--fsync", default="async", choices=("sync", "group", "async"),
+                     help="stable-storage durability mode: fsync per barrier, "
+                          "group commit, or legacy write-through (default: async)")
     run.add_argument("--export", metavar="PATH",
                      help="write the JSONL timeline here (for 'repro report')")
     run.add_argument("--trace", action="store_true",
@@ -822,7 +828,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="fault event rate multiplier (default: 1.0)")
     chaos.add_argument("--allow-majority-loss", action="store_true",
                        help="let crash bursts take down a majority")
-    chaos.add_argument("--mutation", choices=("minority-accept",),
+    chaos.add_argument("--fsync", default="async",
+                       choices=("sync", "group", "async"),
+                       help="replica durability mode (default: async; "
+                            "storage faults need sync or group)")
+    chaos.add_argument("--storage-faults", action="store_true",
+                       help="also sample storage nemeses (torn writes, lying "
+                            "fsyncs, disk stalls, record rot); requires "
+                            "--fsync sync|group")
+    chaos.add_argument("--mutation", choices=("minority-accept", "skip-fsync"),
                        help="inject a deliberate protocol bug (validation runs)")
     chaos.add_argument("--shrink", action="store_true",
                        help="minimize each violating schedule to a small repro")

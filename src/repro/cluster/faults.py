@@ -35,6 +35,7 @@ class FaultSchedule:
     cluster: "Cluster"
     applied: list[tuple[float, str]] = field(default_factory=list)
     _crash_times: dict[ProcessId, set[float]] = field(default_factory=dict)
+    _recover_times: dict[ProcessId, set[float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------- validation
     def _validate_time(self, at: float, what: str) -> None:
@@ -72,6 +73,12 @@ class FaultSchedule:
     def recover(self, pid: ProcessId, at: float) -> "FaultSchedule":
         self._validate_time(at, f"recover {pid}")
         self._validate_pid(pid, "recover")
+        times = self._recover_times.setdefault(pid, set())
+        if at in times:
+            raise ConfigError(
+                f"recover {pid!r} at t={at}: already scheduled to recover at that instant"
+            )
+        times.add(at)
         self.cluster.kernel.schedule_at(at, self._apply_recover, pid)
         self.applied.append((at, f"recover {pid}"))
         return self
@@ -138,6 +145,80 @@ class FaultSchedule:
     def _apply_heal(self) -> None:
         self._count("heal")
         self.cluster.network.partitions.heal()
+
+    # --------------------------------------------------------- storage faults
+    def _validate_replica(self, pid: ProcessId, what: str) -> None:
+        self._validate_pid(pid, what)
+        if pid not in self.cluster.replicas:
+            raise ConfigError(f"{what}: {pid!r} is not a replica (no stable storage)")
+
+    def torn_write(self, pid: ProcessId, at: float) -> "FaultSchedule":
+        """Arm a torn write on ``pid``'s device: at its next crash, the
+        first unsynced WAL record lands on the platter truncated (replay
+        drops it via the CRC check)."""
+        self._validate_time(at, f"torn_write {pid}")
+        self._validate_replica(pid, "torn_write")
+        self.cluster.kernel.schedule_at(at, self._apply_torn_write, pid)
+        self.applied.append((at, f"torn write armed on {pid}"))
+        return self
+
+    def _apply_torn_write(self, pid: ProcessId) -> None:
+        self._count("torn_write")
+        self.cluster.replicas[pid].store.inject_torn_write()
+
+    def lost_fsync(self, pid: ProcessId, at: float, duration: float) -> "FaultSchedule":
+        """During [at, at + duration), ``pid``'s fsyncs acknowledge without
+        persisting. Crashing with such lied-about records outstanding
+        poisons the device (the replica fail-stops on recovery); an honest
+        fsync after the window closes the hazard."""
+        self._validate_time(at, f"lost_fsync {pid}")
+        self._validate_replica(pid, "lost_fsync")
+        if duration <= 0:
+            raise ConfigError(f"lost_fsync {pid}: duration must be > 0, got {duration}")
+        self.cluster.kernel.schedule_at(at, self._apply_lost_fsync, pid, duration)
+        self.applied.append((at, f"lost fsync on {pid} for {duration}"))
+        return self
+
+    def _apply_lost_fsync(self, pid: ProcessId, duration: float) -> None:
+        self._count("lost_fsync")
+        self.cluster.replicas[pid].store.inject_lost_fsync(duration)
+
+    def disk_stall(
+        self, pid: ProcessId, at: float, duration: float, extra: float
+    ) -> "FaultSchedule":
+        """Add ``extra`` seconds to every fsync ``pid`` starts during
+        [at, at + duration) — a slow device, not a lying one."""
+        self._validate_time(at, f"disk_stall {pid}")
+        self._validate_replica(pid, "disk_stall")
+        if duration <= 0:
+            raise ConfigError(f"disk_stall {pid}: duration must be > 0, got {duration}")
+        if extra <= 0:
+            raise ConfigError(f"disk_stall {pid}: extra must be > 0, got {extra}")
+        self.cluster.kernel.schedule_at(at, self._apply_disk_stall, pid, duration, extra)
+        self.applied.append((at, f"disk stall on {pid} for {duration} (+{extra})"))
+        return self
+
+    def _apply_disk_stall(self, pid: ProcessId, duration: float, extra: float) -> None:
+        self._count("disk_stall")
+        self.cluster.replicas[pid].store.inject_disk_stall(duration, extra)
+
+    def corrupt_record(self, pid: ProcessId, at: float, fraction: float) -> "FaultSchedule":
+        """Rot one already-durable WAL record at ``fraction`` of ``pid``'s
+        log. Harmless until the replica restarts and replay hits the bad
+        CRC mid-log — then it fail-stops rather than rejoin with holes."""
+        self._validate_time(at, f"corrupt_record {pid}")
+        self._validate_replica(pid, "corrupt_record")
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(
+                f"corrupt_record {pid}: fraction must be in [0, 1], got {fraction}"
+            )
+        self.cluster.kernel.schedule_at(at, self._apply_corrupt_record, pid, fraction)
+        self.applied.append((at, f"corrupt record on {pid} at {fraction:.2f}"))
+        return self
+
+    def _apply_corrupt_record(self, pid: ProcessId, fraction: float) -> None:
+        self._count("corrupt_record")
+        self.cluster.replicas[pid].store.inject_corruption(fraction)
 
     # ----------------------------------------------------- disturbance bursts
     def loss_burst(self, rate: float, at: float, duration: float) -> "FaultSchedule":

@@ -118,12 +118,24 @@ class ClusterSpec:
     profiling: bool = False
     #: Virtual-time period of the profiler's counter track (seconds).
     profile_sample_interval: float = 0.01
+    #: Stable-storage durability mode (:mod:`repro.storage`): ``async``
+    #: (legacy zero-latency durability, byte-identical to pre-storage
+    #: runs), ``sync`` or ``group``.
+    fsync: str = "async"
+    #: Modeled fsync device latency / group-commit window (seconds).
+    fsync_latency: float = 5e-4
+    group_commit_interval: float = 2e-3
+    #: Maintain the chosen-rid fold in checkpoints (the acked-durability
+    #: invariant needs it; off by default — it grows with the run).
+    track_commits: bool = False
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
             raise ConfigError("need at least one replica")
         if self.elector not in ("static", "manual", "omega"):
             raise ConfigError(f"unknown elector kind {self.elector!r}")
+        if self.fsync not in ("sync", "group", "async"):
+            raise ConfigError(f"unknown fsync mode {self.fsync!r}")
 
 
 class Cluster:
@@ -194,6 +206,10 @@ class Cluster:
             checkpoint_interval=spec.checkpoint_interval,
             execute_time=spec.execute_time,
             txn_timeout=spec.txn_timeout,
+            fsync_mode=spec.fsync,
+            fsync_latency=spec.fsync_latency,
+            group_commit_interval=spec.group_commit_interval,
+            track_commits=spec.track_commits,
         )
         self.config = config
 

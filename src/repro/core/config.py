@@ -47,6 +47,21 @@ class ReplicaConfig:
     #: empty-method benchmark service). Modeled, not burned: the leader
     #: finishes executing E seconds after it starts.
     execute_time: float = 0.0
+    #: Stable-storage durability mode (:mod:`repro.storage`): ``async``
+    #: keeps the legacy zero-latency semantics (appends durable at once,
+    #: byte-identical to the pre-storage simulator); ``sync`` fsyncs at
+    #: every durability barrier; ``group`` batches barriers onto the
+    #: group-commit timer.
+    fsync_mode: str = "async"
+    #: Modeled device latency of one fsync, in seconds.
+    fsync_latency: float = 5e-4
+    #: Group-commit window: background appends and (in ``group`` mode)
+    #: barriers wait at most this long for a shared fsync.
+    group_commit_interval: float = 2e-3
+    #: Maintain the cumulative chosen-request-id fold in checkpoints so
+    #: the acked-durability invariant can attribute survival. Off by
+    #: default: the fold grows with the run and is only read by chaos.
+    track_commits: bool = False
 
     def __post_init__(self) -> None:
         if len(self.peers) < 1:
@@ -55,6 +70,14 @@ class ReplicaConfig:
             raise ConfigError(f"duplicate peer ids: {self.peers}")
         if self.checkpoint_interval < 1:
             raise ConfigError("checkpoint_interval must be >= 1")
+        if self.fsync_mode not in ("sync", "group", "async"):
+            raise ConfigError(
+                f"fsync_mode must be sync, group or async, got {self.fsync_mode!r}"
+            )
+        if self.fsync_latency <= 0:
+            raise ConfigError("fsync_latency must be > 0")
+        if self.group_commit_interval <= 0:
+            raise ConfigError("group_commit_interval must be > 0")
 
     @property
     def n(self) -> int:

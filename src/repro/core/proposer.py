@@ -185,11 +185,14 @@ class SequentialProposer:
         if not batch:
             return
         assert replica.ballot is not None
+        barrier = replica.store.needs_barrier
         flight = _InFlight(
             ballot=replica.ballot,
             batch=batch,
             instances=tuple(pn.instance for pn, _p, _i in batch),
-            acks={replica.pid},
+            # The leader is an acceptor too: with a real fsync model its
+            # own acceptance only counts toward the quorum once durable.
+            acks=set() if barrier else {replica.pid},
             proposed_at=replica.now,
         )
         self.inflight = flight
@@ -219,6 +222,15 @@ class SequentialProposer:
                 )
             finally:
                 tracer.restore(token)
+        if barrier:
+            replica.store.flush(lambda: self._ack_durable(flight))
+        self._check_majority()
+
+    def _ack_durable(self, flight: _InFlight) -> None:
+        """The leader's own accepted batch hit stable storage."""
+        if self.inflight is not flight:
+            return  # already committed on backup acks, or abandoned
+        flight.acks.add(self.replica.pid)
         self._check_majority()
 
     # ------------------------------------------------------------- responses

@@ -98,25 +98,39 @@ class RecoveryCoordinator:
         from_instance = max(log.frontier, log.max_instance_chosen()) + 1
         round_ = _PrepareRound(ballot=ballot, gaps=gaps, from_instance=from_instance)
         self._prepare = round_
-        # Our own answer to our own Prepare.
-        round_.promises[replica.pid] = Promise(
-            ballot=ballot,
-            entries=log.promise_entries(gaps, from_instance),
-            chosen_frontier=log.frontier,
-            latest=replica.latest_state_for_promise(),
-        )
-        others = replica.others
-        if others:
-            message = Prepare(ballot=ballot, gaps=gaps, from_instance=from_instance)
-            token = tracer.activate(self._span)
-            try:
-                replica.broadcast(others, message)
-                round_.timer = replica.set_timer(
-                    replica.config.prepare_retry, self._retransmit_prepare
-                )
-            finally:
-                tracer.restore(token)
-        self._check_prepare_majority()
+
+        def _promises_durable() -> None:
+            # The self-promise (and the round record that makes a future
+            # restart pick a *fresh* ballot) must be stable before the
+            # Prepare becomes visible: replaying a truncated tail and
+            # re-running round ``b`` could otherwise issue two different
+            # accept rounds under one ballot.
+            if self._prepare is not round_:
+                return  # cancelled or superseded while the fsync ran
+            # Our own answer to our own Prepare.
+            round_.promises[replica.pid] = Promise(
+                ballot=ballot,
+                entries=replica.log.promise_entries(gaps, from_instance),
+                chosen_frontier=replica.log.frontier,
+                latest=replica.latest_state_for_promise(),
+            )
+            others = replica.others
+            if others:
+                message = Prepare(ballot=ballot, gaps=gaps, from_instance=from_instance)
+                token = tracer.activate_for(self._span)
+                try:
+                    replica.broadcast(others, message)
+                    round_.timer = replica.set_timer(
+                        replica.config.prepare_retry, self._retransmit_prepare
+                    )
+                finally:
+                    tracer.restore(token)
+            self._check_prepare_majority()
+
+        if replica.store.needs_barrier:
+            replica.store.flush(_promises_durable)
+        else:
+            _promises_durable()
 
     def on_promise(self, src: ProcessId, msg: Promise) -> None:
         round_ = self._prepare
@@ -216,12 +230,13 @@ class RecoveryCoordinator:
         # 5. Accept phase: one message with every re-proposed value plus the
         #    latest state, so lagging replicas catch up in one step.
         entries = tuple((i, merged[i].value) for i in instances)
+        barrier = replica.store.needs_barrier
         accept = _AcceptRound(
             ballot=round_.ballot,
             entries=entries,
             snapshot_instance=base,
             snapshot=replica.latest_state_payload(),
-            acks={replica.pid},
+            acks=set() if barrier else {replica.pid},
         )
         self._accept = accept
         for instance, value in entries:
@@ -239,6 +254,15 @@ class RecoveryCoordinator:
                 )
             finally:
                 tracer.restore(token)
+        if barrier:
+            replica.store.flush(lambda: self._ack_accept_durable(accept))
+        self._check_accept_majority()
+
+    def _ack_accept_durable(self, accept: _AcceptRound) -> None:
+        """The recovering leader's own re-accepted batch is now stable."""
+        if self._accept is not accept:
+            return  # committed on backup acks, or cancelled meanwhile
+        accept.acks.add(self.replica.pid)
         self._check_accept_majority()
 
     def _accept_message(self, accept: _AcceptRound) -> AcceptBatch:

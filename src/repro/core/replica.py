@@ -17,9 +17,14 @@ Request routing (the §4 experiment semantics):
 * ``TXN_*`` — T-Paxos (when enabled): see :mod:`repro.core.tpaxos`.
 
 Stable storage (survives crashes, per the Paxos requirement): the promised
-ballot, the log, the highest ballot round observed, and the latest
-checkpoint ``(instance, service snapshot, executed-table snapshot)``.
-Everything else is volatile and rebuilt in ``on_recover``.
+ballot, the accepted/chosen log, the highest ballot round observed, and the
+latest checkpoint ``(instance, service snapshot, executed-table snapshot)``
+— all routed through :class:`repro.storage.store.StableStore`, which owns
+the WAL, the modeled fsync latency, and the crash/replay semantics. On
+recovery the replica replays checkpoint + WAL tail (``on_recover``); if the
+device is untrustworthy (lost acked writes, rotted record) it fail-stops
+instead of rejoining. Everything else is volatile and rebuilt in
+``on_recover``.
 """
 
 from __future__ import annotations
@@ -32,7 +37,6 @@ from typing import Any
 from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.config import ReplicaConfig
 from repro.core.locks import LockManager
-from repro.core.log import ReplicaLog
 from repro.core.messages import (
     AcceptBatch,
     AcceptedBatch,
@@ -62,6 +66,7 @@ from repro.obs.spans import Span
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.services.base import ExecutionContext, Service
 from repro.sim.process import Process
+from repro.storage.store import StableStore
 from repro.types import InstanceId, ProcessId, ReplyStatus, RequestKind, StateTransferMode
 
 
@@ -93,14 +98,12 @@ class Replica(Process):
         self.elector = elector
         elector.attach(self, config.peers)
 
-        # ----- stable state (survives crashes) -----
-        self.log = ReplicaLog()
+        # ----- stable state (survives crashes via repro.storage) -----
+        self.store = StableStore(self)
+        self.store.initialize(self.service.snapshot())
+        self.log = self.store.log
         self.promised: Ballot = Ballot.ZERO
         self.max_round_seen = -1
-        self.stable["log"] = self.log
-        self.stable["promised"] = self.promised
-        self.stable["max_round"] = self.max_round_seen
-        self.stable["checkpoint"] = (0, self.service.snapshot(), {})
 
         # ----- volatile state -----
         self.executed = ExecutedTable()
@@ -149,14 +152,32 @@ class Replica(Process):
     def on_crash(self) -> None:
         self.tracer.end(self.takeover_span, status="crashed")
         self.takeover_span = None
+        self.store.crash()
         self.elector.on_crash()
 
     def on_recover(self) -> None:
-        """Rebuild volatile state from stable storage (§3.1: recovered
-        processes execute the protocol correctly)."""
-        self.promised = self.stable["promised"]
-        self.max_round_seen = self.stable["max_round"]
-        checkpoint_instance, service_snap, executed_snap = self.stable["checkpoint"]
+        """Rebuild volatile state by replaying stable storage (§3.1:
+        recovered processes execute the protocol correctly). Fail-stops
+        when replay refuses the device: rejoining after forgetting a
+        promise or acceptance would be Byzantine, not crash-faulty."""
+        tracer = self.tracer
+        span: Span | None = None
+        if tracer.enabled:
+            span = tracer.start_trace(
+                f"restart:{self.pid}", pid=self.pid, kind="restart",
+                attrs={"crashes": self.store.device.crashes},
+            )
+        state = self.store.recover()
+        if state is None:
+            self.stats["storage_failstops"] += 1
+            if tracer.enabled:
+                tracer.end(span, status="failstop")
+            self.alive = False
+            return
+        self.log = self.store.log
+        self.promised = state.promised
+        self.max_round_seen = state.max_round
+        checkpoint_instance, service_snap, executed_snap = state.checkpoint
         self.service = self.service_factory()
         self.service.restore(service_snap)
         self.executed = ExecutedTable()
@@ -180,6 +201,8 @@ class Replica(Process):
         self.metrics.counter("recovers").inc()
         # Log entries above the checkpoint may be re-appliable already.
         self._apply_ready()
+        if tracer.enabled:
+            tracer.end(span)
         self.elector.on_recover()
 
     # ============================================================ message bus
@@ -375,15 +398,27 @@ class Replica(Process):
             self.send(src, Nack(rejected=None, promised=self.promised))
             return
         self._set_promised(msg.ballot)
-        self.send(
-            src,
-            Promise(
-                ballot=msg.ballot,
-                entries=self.log.promise_entries(msg.gaps, msg.from_instance),
-                chosen_frontier=self.log.frontier,
-                latest=self.latest_state_for_promise(),
-            ),
+        if self.role is not ReplicaRole.FOLLOWER and (
+            self.ballot is None or msg.ballot > self.ballot
+        ):
+            # Promising a higher ballot supersedes our own leadership.
+            # Keeping the proposer running would self-accept values at the
+            # old ballot *after* promising them away — the new leader's
+            # prepare quorum then misses them and may choose differently.
+            self.on_preempted(msg.ballot)
+        reply = Promise(
+            ballot=msg.ballot,
+            entries=self.log.promise_entries(msg.gaps, msg.from_instance),
+            chosen_frontier=self.log.frontier,
+            latest=self.latest_state_for_promise(),
         )
+        if self.store.needs_barrier:
+            # The promise must be on stable storage before it is visible:
+            # a crash after sending but before syncing would let us later
+            # accept a lower ballot we promised away.
+            self.store.flush(lambda: self.send(src, reply))
+        else:
+            self.send(src, reply)
 
     def _on_accept_batch(self, src: ProcessId, msg: AcceptBatch) -> None:
         """Accept a batch of consecutive instances atomically (steady-state
@@ -397,13 +432,18 @@ class Replica(Process):
             self.install_snapshot(msg.snapshot_instance, msg.snapshot)
         record_phases = self.metrics.enabled
         for instance, value in msg.entries:
-            self.log.accept(ProposalNumber(msg.ballot, instance), value)
+            self.store.accept(ProposalNumber(msg.ballot, instance), value)
             if record_phases:
                 self._accepted_at.setdefault(instance, self.now)
-        self.send(
-            src,
-            AcceptedBatch(ballot=msg.ballot, instances=tuple(i for i, _ in msg.entries)),
+        ack = AcceptedBatch(
+            ballot=msg.ballot, instances=tuple(i for i, _ in msg.entries)
         )
+        if self.store.needs_barrier:
+            # The leader counts this ack toward its quorum: the accepted
+            # proposals must survive our crash before we send it.
+            self.store.flush(lambda: self.send(src, ack))
+        else:
+            self.send(src, ack)
 
     def _on_accepted_batch(self, src: ProcessId, msg: AcceptedBatch) -> None:
         if self.role is ReplicaRole.RECOVERING:
@@ -432,7 +472,7 @@ class Replica(Process):
     def _set_promised(self, ballot: Ballot) -> None:
         if ballot > self.promised:
             self.promised = ballot
-            self.stable["promised"] = ballot
+            self.store.record_promise(ballot)
 
     def promise_locally(self, ballot: Ballot) -> None:
         """The leader promises to its own ballot (it is its own acceptor)."""
@@ -441,14 +481,14 @@ class Replica(Process):
 
     def accept_locally(self, pn: ProposalNumber, value: Proposal) -> None:
         self._set_promised(pn.ballot)
-        self.log.accept(pn, value)
+        self.store.accept(pn, value)
 
     def observe_round(self, round_: int) -> None:
         """Track the highest ballot round ever seen (stable), so a future
         leadership of ours always picks a fresh, higher ballot."""
         if round_ > self.max_round_seen:
             self.max_round_seen = round_
-            self.stable["max_round"] = round_
+            self.store.record_round(round_)
 
     # =============================================== choosing & applying state
     def choose(self, instance: InstanceId, value: Proposal, ballot: Ballot) -> None:
@@ -458,8 +498,8 @@ class Replica(Process):
             return
         # A chosen value is also reported as accepted in future Promises
         # (any replica that knows a decision must make new leaders adopt it).
-        self.log.accept(ProposalNumber(ballot, instance), value)
-        self.log.choose(instance, value)
+        self.store.accept(ProposalNumber(ballot, instance), value)
+        self.store.choose(instance, value)
         if self.metrics.enabled:
             now = self.now
             accepted_at = self._accepted_at.pop(instance, None)
@@ -478,7 +518,7 @@ class Replica(Process):
         record_phases = self.metrics.enabled
         for pn, proposal, _item in batch:
             self._locally_executed.add(pn.instance)
-            self.log.choose(pn.instance, proposal)
+            self.store.choose(pn.instance, proposal)
             if record_phases:
                 self._chosen_at[pn.instance] = self.now
         self._apply_ready()
@@ -560,20 +600,17 @@ class Replica(Process):
             apply_payload(value.payload, self.service, value.ops())
 
     def _maybe_checkpoint(self) -> None:
-        checkpoint_instance = self.stable["checkpoint"][0]
+        checkpoint_instance = self.store.checkpoint[0]
         if self.applied - checkpoint_instance < self.config.checkpoint_interval:
             return
-        self.stable["checkpoint"] = (
-            self.applied,
-            self.service.snapshot(),
-            self.executed.snapshot(),
-        )
-        self.log.compact(min(self.applied, self.log.frontier))
+        self.store.write_checkpoint(self.applied)
         self.stats["checkpoints"] += 1
 
-    def install_snapshot(self, instance: InstanceId, snapshot: tuple[Any, Any]) -> None:
-        """Adopt a (service, executed-table) snapshot at ``instance``."""
-        service_snap, executed_snap = snapshot
+    def install_snapshot(self, instance: InstanceId, snapshot: tuple[Any, ...]) -> None:
+        """Adopt a (service, executed-table[, rid-fold]) snapshot at
+        ``instance`` (catch-up / recovery state transfer)."""
+        service_snap, executed_snap = snapshot[0], snapshot[1]
+        rids = snapshot[2] if len(snapshot) > 2 else frozenset()
         self.service.restore(service_snap)
         self.executed.restore(executed_snap)
         self.applied = instance
@@ -582,8 +619,9 @@ class Replica(Process):
             self._accepted_at = {i: t for i, t in self._accepted_at.items() if i > instance}
         if self._chosen_at:
             self._chosen_at = {i: t for i, t in self._chosen_at.items() if i > instance}
-        self.log.install_prefix(instance)
-        self.stable["checkpoint"] = (instance, self.service.snapshot(), dict(executed_snap))
+        self.store.install_state(
+            instance, self.service.snapshot(), dict(executed_snap), rids
+        )
         self._apply_ready()
 
     def latest_state_for_promise(self) -> tuple[InstanceId, Any] | None:
@@ -593,7 +631,16 @@ class Replica(Process):
             return None
         return (self.applied, self.latest_state_payload())
 
-    def latest_state_payload(self) -> tuple[Any, Any]:
+    def latest_state_payload(self) -> tuple[Any, ...]:
+        if self.config.track_commits:
+            # Ship the cumulative chosen-rid fold with the state so the
+            # receiver's durable checkpoint keeps attributing survival of
+            # acked requests (acked-durability invariant).
+            return (
+                self.service.snapshot(),
+                self.executed.snapshot(),
+                self.store.rid_fold(self.applied),
+            )
         return (self.service.snapshot(), self.executed.snapshot())
 
     # =========================================================== catch-up path
@@ -644,13 +691,19 @@ class Replica(Process):
     def _on_catch_up_query(self, src: ProcessId, msg: CatchUpQuery) -> None:
         if msg.from_instance < self.log.compacted_to:
             # The asked-for prefix is gone; ship our checkpoint instead.
-            checkpoint_instance, service_snap, executed_snap = self.stable["checkpoint"]
+            checkpoint_instance, service_snap, executed_snap = self.store.checkpoint
+            if self.config.track_commits:
+                snapshot: tuple[Any, ...] = (
+                    service_snap, executed_snap, self.store.checkpoint_rids
+                )
+            else:
+                snapshot = (service_snap, executed_snap)
             self.send(
                 src,
                 CatchUpInfo(
                     items=tuple(self.log.chosen_above(checkpoint_instance)),
                     snapshot_instance=checkpoint_instance,
-                    snapshot=(service_snap, executed_snap),
+                    snapshot=snapshot,
                 ),
             )
             return
@@ -714,7 +767,7 @@ class Replica(Process):
     def _rebuild_service_to_applied(self) -> None:
         """Reset the service (and dedup table) to the state at ``applied``
         by replaying the chosen log from the latest stable checkpoint."""
-        checkpoint_instance, service_snap, executed_snap = self.stable["checkpoint"]
+        checkpoint_instance, service_snap, executed_snap = self.store.checkpoint
         self.service = self.service_factory()
         self.service.restore(service_snap)
         self.executed = ExecutedTable()
@@ -788,9 +841,11 @@ class Replica(Process):
             "applied": self.applied,
             "frontier": self.log.frontier,
             "compacted_to": self.log.compacted_to,
-            "checkpoint_instance": self.stable["checkpoint"][0],
+            "checkpoint_instance": self.store.checkpoint[0],
             "chosen": self.log.chosen_items(),
             "fingerprint": self.service.state_fingerprint(),
+            "storage_intact": self.store.intact,
+            "durable_rids": self.store.durable_rids(),
         }
 
     def execution_context(self, txn: str | None = None) -> ExecutionContext:

@@ -18,7 +18,7 @@ from pathlib import PurePosixPath
 #: deterministic simulation and therefore may not touch ambient
 #: nondeterminism (wall clocks, unseeded RNGs, process entropy).
 DETERMINISTIC_LAYERS = frozenset(
-    {"sim", "core", "net", "chaos", "election", "cluster"}
+    {"sim", "core", "net", "chaos", "election", "cluster", "storage"}
 )
 
 #: Suppression comments, e.g. ``lint: ignore[DET001, MSG002] -- reason``.

@@ -82,10 +82,13 @@ class Process:
 
     Lifecycle: ``on_start`` once when the world starts (and never again),
     ``on_message`` per delivered message, ``on_crash`` / ``on_recover`` on
-    fault injection. State kept in ``self.stable`` survives a crash —
-    everything else is considered volatile and it is the subclass's job to
-    reinitialize it in ``on_recover`` (mirroring Paxos's stable-storage
-    requirement for promises and accepted proposals).
+    fault injection. Everything not explicitly persisted is volatile and
+    it is the subclass's job to reinitialize it in ``on_recover``.
+    Replicas persist their Paxos state (promises, accepted proposals,
+    checkpoints) through :class:`repro.storage.store.StableStore`, which
+    models the durability boundary honestly (fsync, torn tails); the
+    legacy ``self.stable`` dict remains for simple processes and tests —
+    mutating it from protocol code is flagged by lint rule ``PROTO002``.
     """
 
     def __init__(self, pid: ProcessId) -> None:

@@ -13,9 +13,14 @@ evaluation measures:
 
 Crash semantics follow the paper's model: a crashed process executes no
 steps; messages addressed to it while down are lost (its connections are
-gone); state in ``process.stable`` survives; on recovery the process
-rebuilds volatile state. An *epoch* counter invalidates timers and queued
-deliveries from before the crash.
+gone); on recovery the process rebuilds volatile state in ``on_recover``.
+An *epoch* counter invalidates timers and queued deliveries from before
+the crash. What survives a crash is whatever the process itself keeps on
+simulated stable storage — for replicas that is the
+:class:`repro.storage.store.StableStore` device (checkpoint + WAL, minus
+writes that were never fsynced), replayed in ``on_recover``; a process
+may also fail-stop during recovery (set ``alive = False``) when its
+storage is untrustworthy.
 """
 
 from __future__ import annotations

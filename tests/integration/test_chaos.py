@@ -34,6 +34,53 @@ class TestAcceptanceSweep:
                 f"{result.schedule.describe()}"
             )
 
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_fifty_seeds_with_storage_nemeses(self, protocol):
+        # Acceptance: torn writes, lying fsyncs, stalls and rotted records
+        # never cost an acknowledged write while a majority of devices
+        # stays intact.
+        options = ChaosOptions(
+            protocol=protocol, fsync="group", storage_faults=True
+        )
+        for seed in range(50):
+            result = run_chaos(seed, options)
+            assert result.ok, (
+                f"{protocol} seed {seed}: "
+                f"{[str(v) for v in result.violations]}\n"
+                f"{result.schedule.describe()}"
+            )
+
+    def test_storage_sweep_exercises_storage_nemeses(self):
+        options = ChaosOptions(fsync="group", storage_faults=True)
+        fired = {
+            kind: sum(
+                run_chaos(seed, options).counters.get(f"fault.{kind}", 0)
+                for seed in range(50)
+            )
+            for kind in ("torn_write", "lost_fsync", "disk_stall", "corrupt_record")
+        }
+        assert all(count > 0 for count in fired.values()), fired
+
+    def test_skip_fsync_mutation_caught_and_shrinks_small(self):
+        # A replica that acks without persisting loses acked writes at its
+        # first crash: acked_durability must catch it, and the repro must
+        # shrink to a handful of events.
+        options = ChaosOptions(mutation="skip-fsync", fsync="group")
+        caught = None
+        for seed in range(10):
+            result = run_chaos(seed, options)
+            if not result.ok:
+                caught = result
+                break
+        assert caught is not None, "skip-fsync never caught in 10 seeds"
+        assert any(
+            v.invariant == "acked_durability" for v in caught.violations
+        )
+        outcome = shrink(
+            caught.schedule, options, invariant="acked_durability"
+        )
+        assert outcome.events <= 5
+
     def test_trials_complete_requests_and_inject_faults(self):
         # The sweep is only meaningful if the workload overlaps the faults.
         options = ChaosOptions(protocol="basic")

@@ -37,7 +37,7 @@ class TestCheckpointing:
         ).run()
         cluster.drain()
         leader = cluster.leader()
-        instance, service_snap, _executed = leader.stable["checkpoint"]
+        instance, service_snap, _executed = leader.store.checkpoint
         assert instance <= leader.applied
         assert service_snap == instance  # counter value == #adds applied
 

@@ -7,6 +7,7 @@ import pytest
 
 from repro.chaos.invariants import (
     Violation,
+    check_acked_durability,
     check_at_most_once,
     check_linearizability,
     check_liveness,
@@ -18,14 +19,16 @@ from repro.chaos.invariants import (
 from repro.chaos.runner import ChaosOptions
 from repro.chaos.schedule import (
     EVENT_KINDS,
+    STORAGE_KINDS,
     NemesisEvent,
     NemesisSchedule,
     generate_schedule,
 )
+from repro.client.client import RequestRecord
 from repro.core.messages import Proposal
 from repro.core.requests import ClientRequest, RequestId
 from repro.errors import ConfigError
-from repro.types import RequestKind
+from repro.types import ReplyStatus, RequestKind
 
 PIDS = ("r0", "r1", "r2")
 
@@ -166,7 +169,79 @@ class TestScheduleSerialization:
         assert EVENT_KINDS == (
             "crash", "recover", "partition", "heal", "leader",
             "loss_burst", "dup_burst", "latency_spike",
+            "torn_write", "lost_fsync", "disk_stall", "corrupt_record",
         )
+
+
+# ------------------------------------------------------------------- storage
+class TestStorageSchedule:
+    def test_storage_off_by_default(self):
+        for seed in range(20):
+            schedule = generate_schedule(seed, PIDS)
+            assert not any(e.kind in STORAGE_KINDS for e in schedule.events)
+
+    def test_storage_flag_leaves_base_generation_unchanged(self):
+        # storage=False must draw the exact same rng sequence as the
+        # pre-storage generator; explicit False equals the default.
+        for seed in range(10):
+            assert generate_schedule(seed, PIDS) == generate_schedule(
+                seed, PIDS, storage=False
+            )
+
+    def test_storage_kinds_all_reachable(self):
+        seen: set[str] = set()
+        for seed in range(60):
+            schedule = generate_schedule(seed, PIDS, storage=True)
+            seen.update(e.kind for e in schedule.events)
+        assert seen.issuperset(STORAGE_KINDS)
+
+    def test_storage_schedules_deterministic(self):
+        for seed in range(10):
+            a = generate_schedule(seed, PIDS, storage=True)
+            b = generate_schedule(seed, PIDS, storage=True)
+            assert a == b
+
+    def test_torn_write_is_paired_with_a_crash(self):
+        for seed in range(60):
+            schedule = generate_schedule(seed, PIDS, storage=True)
+            for event in schedule.events:
+                if event.kind == "torn_write":
+                    pid = event.pids[0]
+                    assert any(
+                        e.kind == "crash" and e.pids == (pid,) and e.at > event.at
+                        for e in schedule.events
+                    ), f"seed {seed}: torn write on {pid} never lands (no crash)"
+
+    def test_corrupted_pid_never_leads_at_the_end(self):
+        # A replica with a rotted record fail-stops on restart; the final
+        # stabilizing leader switch must target a clean replica.
+        for seed in range(60):
+            schedule = generate_schedule(seed, PIDS, storage=True)
+            poisoned = {
+                e.pids[0] for e in schedule.events if e.kind == "corrupt_record"
+            }
+            if not poisoned:
+                continue
+            leaders = [e for e in schedule.events if e.kind == "leader"]
+            assert leaders[-1].pids[0] not in poisoned
+
+    def test_storage_events_round_trip(self):
+        for seed in range(20):
+            schedule = generate_schedule(seed, PIDS, storage=True)
+            assert NemesisSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_to_script_emits_storage_fault_calls(self):
+        events = (
+            NemesisEvent(0.1, "torn_write", pids=("r1",)),
+            NemesisEvent(0.2, "lost_fsync", pids=("r2",), duration=0.1),
+            NemesisEvent(0.3, "disk_stall", pids=("r0",), duration=0.2, value=2e-3),
+            NemesisEvent(0.4, "corrupt_record", pids=("r1",), value=0.5),
+        )
+        script = NemesisSchedule(seed=1, horizon=1.0, events=events).to_script()
+        assert "schedule.torn_write('r1', at=0.1)" in script
+        assert "schedule.lost_fsync('r2', at=0.2, duration=0.1)" in script
+        assert "schedule.disk_stall('r0', at=0.3, duration=0.2, extra=0.002)" in script
+        assert "schedule.corrupt_record('r1', at=0.4, fraction=0.5)" in script
 
 
 # ------------------------------------------------------------------- options
@@ -183,6 +258,21 @@ class TestChaosOptions:
         options = ChaosOptions(horizon=2.0, liveness_grace=3.0)
         assert options.deadline == 5.0
 
+    def test_unknown_fsync_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosOptions(fsync="eventually")
+
+    def test_storage_faults_require_a_durable_fsync_mode(self):
+        with pytest.raises(ConfigError):
+            ChaosOptions(storage_faults=True)  # default fsync="async"
+        ChaosOptions(storage_faults=True, fsync="group")
+        ChaosOptions(storage_faults=True, fsync="sync")
+
+    def test_skip_fsync_mutation_requires_a_durable_fsync_mode(self):
+        with pytest.raises(ConfigError):
+            ChaosOptions(mutation="skip-fsync")
+        ChaosOptions(mutation="skip-fsync", fsync="group")
+
 
 # ---------------------------------------------------------------- invariants
 def _request(client: str, seq: int, kind=RequestKind.WRITE, **kw) -> ClientRequest:
@@ -194,7 +284,8 @@ def _proposal(*requests: ClientRequest) -> Proposal:
 
 
 def _snap(pid: str, chosen=(), alive=True, applied=0, frontier=None,
-          compacted=0, checkpoint=0, fingerprint="fp"):
+          compacted=0, checkpoint=0, fingerprint="fp",
+          intact=True, durable=()):
     return {
         "pid": pid,
         "alive": alive,
@@ -205,7 +296,31 @@ def _snap(pid: str, chosen=(), alive=True, applied=0, frontier=None,
         "checkpoint_instance": checkpoint,
         "chosen": tuple(chosen),
         "fingerprint": fingerprint,
+        "storage_intact": intact,
+        "durable_rids": frozenset(durable),
     }
+
+
+class _DurClient:
+    """request_records()-shaped stand-in for the durability checker."""
+
+    def __init__(self, pid: str, records: list[RequestRecord]) -> None:
+        self.pid = pid
+        self._records = records
+
+    def request_records(self) -> list[RequestRecord]:
+        return self._records
+
+
+def _acked_write(
+    client: str,
+    seq: int,
+    kind: RequestKind = RequestKind.WRITE,
+    status: ReplyStatus = ReplyStatus.OK,
+) -> RequestRecord:
+    return RequestRecord(
+        RequestId(client, seq), kind, sent_at=0.0, completed_at=0.1, status=status
+    )
 
 
 class TestInvariantCheckers:
@@ -305,6 +420,40 @@ class TestInvariantCheckers:
         commit = _request("c0", 1, kind=RequestKind.TXN_COMMIT, txn="t2", txn_seq=1)
         snaps = [_snap("r0", [(1, _proposal(op0, commit))])]
         assert len(check_txn_atomicity(snaps)) == 1
+
+    def test_acked_durability_clean_when_covered(self):
+        client = _DurClient("c0", [_acked_write("c0", 0)])
+        snaps = [
+            _snap("r0", durable=("c0#0",)),
+            _snap("r1", durable=("c0#0",)),
+            _snap("r2", intact=False),
+        ]
+        assert check_acked_durability([client], snaps, majority=2) == []
+
+    def test_acked_durability_detects_lost_write(self):
+        client = _DurClient("c0", [_acked_write("c0", 0), _acked_write("c0", 1)])
+        snaps = [_snap("r0", durable=("c0#0",)), _snap("r1"), _snap("r2")]
+        (violation,) = check_acked_durability([client], snaps, majority=2)
+        assert violation.invariant == "acked_durability"
+        assert violation.data["rid"] == "c0#1"
+
+    def test_acked_durability_stands_down_below_majority(self):
+        # With a minority of intact devices, data loss is outside the
+        # fault model's budget: the checker must not cry wolf.
+        client = _DurClient("c0", [_acked_write("c0", 0)])
+        snaps = [_snap("r0"), _snap("r1", intact=False), _snap("r2", intact=False)]
+        assert check_acked_durability([client], snaps, majority=2) == []
+
+    def test_acked_durability_ignores_reads_and_failures(self):
+        records = [
+            _acked_write("c0", 0, kind=RequestKind.READ),
+            RequestRecord(
+                RequestId("c0", 1), RequestKind.WRITE, sent_at=0.0
+            ),  # never completed
+            _acked_write("c0", 2, status=ReplyStatus.ABORTED),
+        ]
+        snaps = [_snap("r0"), _snap("r1"), _snap("r2")]
+        assert check_acked_durability([_DurClient("c0", records)], snaps, 2) == []
 
     def test_liveness_reports_unfinished_clients(self):
         class FakeClient:

@@ -84,6 +84,39 @@ class TestFaultValidation:
         # Different instants are a legitimate crash-recover-crash script.
         schedule.recover("r0", at=0.02).crash("r0", at=0.03)
 
+    def test_double_recover_same_instant_rejected(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster).crash("r0", at=0.01)
+        schedule.recover("r0", at=0.02)
+        with pytest.raises(ConfigError, match="already scheduled"):
+            schedule.recover("r0", at=0.02)
+        # A later recover (crash-recover-crash-recover script) is fine.
+        schedule.crash("r0", at=0.03).recover("r0", at=0.04)
+
+    def test_storage_faults_require_a_replica(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster)
+        with pytest.raises(ConfigError, match="not a replica"):
+            schedule.torn_write("c0", at=0.01)
+        with pytest.raises(ConfigError, match="not a replica"):
+            schedule.lost_fsync("c0", at=0.01, duration=0.1)
+        with pytest.raises(ConfigError, match="not a replica"):
+            schedule.disk_stall("c0", at=0.01, duration=0.1, extra=1e-3)
+        with pytest.raises(ConfigError, match="not a replica"):
+            schedule.corrupt_record("c0", at=0.01, fraction=0.5)
+
+    def test_storage_fault_parameter_bounds(self):
+        cluster = small_cluster()
+        schedule = FaultSchedule(cluster)
+        with pytest.raises(ConfigError, match="duration"):
+            schedule.lost_fsync("r1", at=0.01, duration=0.0)
+        with pytest.raises(ConfigError, match="duration"):
+            schedule.disk_stall("r1", at=0.01, duration=-0.1, extra=1e-3)
+        with pytest.raises(ConfigError, match="extra"):
+            schedule.disk_stall("r1", at=0.01, duration=0.1, extra=0.0)
+        with pytest.raises(ConfigError, match="fraction"):
+            schedule.corrupt_record("r1", at=0.01, fraction=1.5)
+
     def test_burst_duration_must_be_positive(self):
         cluster = small_cluster()
         with pytest.raises(ConfigError, match="duration"):

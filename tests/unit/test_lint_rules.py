@@ -248,6 +248,74 @@ class TestCoreLayering:
         assert rule_ids(src, rel="repro/transport/tcp.py") == []
 
 
+# ---------------------------------------------------------------- PROTO002
+class TestStableStoreBypass:
+    def test_subscript_write_flagged(self):
+        src = "self.stable['promised'] = ballot\n"
+        assert rule_ids(src) == ["PROTO002"]
+
+    def test_augassign_flagged(self):
+        src = "self.stable['round'] += 1\n"
+        assert rule_ids(src) == ["PROTO002"]
+
+    def test_delete_flagged(self):
+        src = "del replica.stable['checkpoint']\n"
+        assert rule_ids(src) == ["PROTO002"]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "self.stable.update({'a': 1})",
+            "self.stable.pop('a')",
+            "self.stable.clear()",
+            "self.stable.setdefault('a', [])",
+        ],
+    )
+    def test_mutator_calls_flagged(self, call):
+        assert rule_ids(f"{call}\n") == ["PROTO002"]
+
+    def test_rebinding_stable_flagged(self):
+        assert rule_ids("self.stable = {}\n") == ["PROTO002"]
+
+    def test_store_aliasing_flagged(self):
+        src = "replica.store = other.store\n"
+        assert rule_ids(src) == ["PROTO002"]
+
+    def test_store_construction_allowed(self):
+        src = (
+            "from repro.storage.store import StableStore\n"
+            "self.store = StableStore(self)\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_reads_allowed(self):
+        src = "promised = self.stable.get('promised')\nx = self.stable['round']\n"
+        assert rule_ids(src) == []
+
+    def test_store_api_calls_allowed(self):
+        src = "self.store.accept(pn, value)\nself.store.flush(cb)\n"
+        assert rule_ids(src) == []
+
+    def test_storage_layer_exempt(self):
+        src = "self.stable['promised'] = ballot\n"
+        assert rule_ids(src, rel="repro/storage/store.py") == []
+
+    def test_sim_layer_exempt(self):
+        src = "self.stable = {}\n"
+        assert rule_ids(src, rel="repro/sim/process.py") == []
+
+    def test_cluster_layer_checked(self):
+        src = "replica.stable['promised'] = ballot\n"
+        assert rule_ids(src, rel="repro/cluster/mod.py") == ["PROTO002"]
+
+    def test_suppression_honored(self):
+        src = (
+            "self.stable['promised'] = b  "
+            "# lint: ignore[PROTO002] -- legacy fixture\n"
+        )
+        assert rule_ids(src) == []
+
+
 # ------------------------------------------------------------------ OBS001
 class TestMetricNameConvention:
     def test_literal_name_allowed(self):
