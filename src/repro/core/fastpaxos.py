@@ -105,7 +105,7 @@ class FastAcceptor:
         self._fast_open = msg.ballot
         return True
 
-    def on_client_value(self, msg: FClientValue) -> FAccepted | None:
+    def on_client_value(self, msg: FClientValue) -> FAccepted | None:  # lint: ignore[MSG102] -- FClientValue is the model's external input port: clients outside src/ construct it (see tests/unit/test_fastpaxos.py)
         """Accept the first client value of the open fast round."""
         if self._fast_open is None or self._fast_open < self.promised:
             return None

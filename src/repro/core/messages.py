@@ -8,7 +8,7 @@ Message flow in the common case (no failures, stable leader — Fig. 2):
 
 * client --``ClientRequest``--> all replicas
 * leader --``Accept``--> backups; backups --``Accepted``--> leader
-* leader --``Chosen``--> backups; leader --``Reply``--> client
+* leader --``ChosenBatch``--> backups; leader --``Reply``--> client
 
 X-Paxos read (Fig. 3): backups --``Confirm``--> leader (no Accept round).
 T-Paxos (Fig. 4): only the commit triggers an Accept round.
@@ -80,16 +80,6 @@ class Nack:
 
     rejected: ProposalNumber | None
     promised: Ballot
-
-
-@fast_pickle
-@dataclass(frozen=True, slots=True)
-class Chosen:
-    """Leader -> all replicas: instance ``instance`` decided on ``value``."""
-
-    instance: InstanceId
-    value: Proposal
-    ballot: Ballot
 
 
 # -------------------------------------------------------------- prepare phase

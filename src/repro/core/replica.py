@@ -13,7 +13,7 @@ Request routing (the §4 experiment semantics):
 * ``WRITE`` — the basic protocol: the leader executes the request when its
   turn in the sequential pipeline comes, proposes ``<req, state>`` for the
   next instance, commits on a majority of Accepteds, replies, then
-  broadcasts Chosen.
+  broadcasts ChosenBatch.
 * ``TXN_*`` — T-Paxos (when enabled): see :mod:`repro.core.tpaxos`.
 
 Stable storage (survives crashes, per the Paxos requirement): the promised
@@ -42,7 +42,6 @@ from repro.core.messages import (
     AcceptedBatch,
     CatchUpInfo,
     CatchUpQuery,
-    Chosen,
     ChosenBatch,
     Confirm,
     FrontierProbe,
@@ -217,8 +216,6 @@ class Replica(Process):
             self._on_accepted_batch(src, msg)
         elif isinstance(msg, Nack):
             self._on_nack(src, msg)
-        elif isinstance(msg, Chosen):
-            self._on_chosen(src, msg)
         elif isinstance(msg, ChosenBatch):
             self._on_chosen_batch(src, msg)
         elif isinstance(msg, Confirm):
@@ -450,11 +447,6 @@ class Replica(Process):
             self.recovery.on_accepted_batch(src, msg)
         elif self.role is ReplicaRole.LEADING:
             self.proposer.on_accepted(src, msg)
-
-    def _on_chosen(self, src: ProcessId, msg: Chosen) -> None:
-        self.observe_round(msg.ballot.round)
-        self.choose(msg.instance, msg.value, msg.ballot)
-        self._maybe_catch_up(src)
 
     def _on_chosen_batch(self, src: ProcessId, msg: ChosenBatch) -> None:
         self.observe_round(msg.ballot.round)

@@ -14,8 +14,13 @@ Architecture:
   comments;
 * :mod:`repro.lint.rules` — the plugin registry; each rule is a class
   with an id, severity, rationale and a ``check(ctx)`` generator;
-* :mod:`repro.lint.engine` — walks trees, runs rules, applies
-  ``# lint: ignore[RULE] -- reason`` suppressions and the baseline;
+* :mod:`repro.lint.graph` — the whole-program pass: per-file facts with
+  an on-disk content-hash cache, the linked project index, the call
+  graph, and the interprocedural rules (DET101, MSG101, MSG102,
+  PROTO101) with witness-path reporting;
+* :mod:`repro.lint.engine` — walks trees, runs rules (per-file phase,
+  then whole-program phase), applies ``# lint: ignore[RULE] -- reason``
+  suppressions and the baseline;
 * :mod:`repro.lint.report` — text and byte-deterministic JSON reporters;
 * :mod:`repro.lint.cli` — the ``repro lint`` subcommand.
 
@@ -27,16 +32,28 @@ from __future__ import annotations
 from repro.lint.baseline import Baseline
 from repro.lint.engine import LintEngine, LintResult
 from repro.lint.findings import Finding, Severity
+from repro.lint.graph import (
+    PROJECT_RULE_REGISTRY,
+    CallGraph,
+    ProjectContext,
+    ProjectIndex,
+    all_project_rules,
+)
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import RULE_REGISTRY, all_rules
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "Finding",
     "LintEngine",
     "LintResult",
+    "PROJECT_RULE_REGISTRY",
+    "ProjectContext",
+    "ProjectIndex",
     "RULE_REGISTRY",
     "Severity",
+    "all_project_rules",
     "all_rules",
     "render_json",
     "render_text",

@@ -1,11 +1,19 @@
 """Baseline files: adopt the linter on a tree with pre-existing findings.
 
-A baseline maps finding fingerprints (rule + file + normalized source
-line, see :func:`repro.lint.findings.fingerprint`) to occurrence counts.
-Findings covered by the baseline are reported in the summary but do not
-fail the run; anything *new* still does. The shipped tree is clean, so
-the checked-in ``lint-baseline.json`` is empty — it exists to pin the CI
+A baseline maps finding fingerprints to occurrence counts. Findings
+covered by the baseline are reported in the summary but do not fail the
+run; anything *new* still does. The shipped tree is clean, so the
+checked-in ``lint-baseline.json`` is empty — it exists to pin the CI
 invocation and the adoption workflow.
+
+Fingerprint formats (see :mod:`repro.lint.findings`):
+
+* **v2** (current): ``rule::<enclosing symbol>::<stripped line>`` —
+  stable under file moves and renames.
+* **v1** (legacy): ``rule::<path>::<stripped line>``. v1 baseline files
+  still load and still match (the engine tries the v2 key first, then
+  the v1 key), so migration is just rerunning ``--write-baseline``,
+  which always writes v2.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
-_VERSION = 1
+_VERSION = 2
+_ACCEPTED_VERSIONS = frozenset({1, 2})
 
 
 @dataclass(slots=True)
@@ -27,7 +36,10 @@ class Baseline:
     @classmethod
     def load(cls, path: str | Path) -> "Baseline":
         document = json.loads(Path(path).read_text(encoding="utf-8"))
-        if not isinstance(document, dict) or document.get("version") != _VERSION:
+        if (
+            not isinstance(document, dict)
+            or document.get("version") not in _ACCEPTED_VERSIONS
+        ):
             raise ValueError(f"{path}: not a v{_VERSION} lint baseline")
         raw = document.get("fingerprints", {})
         if not isinstance(raw, dict):

@@ -8,10 +8,12 @@ Exit codes follow the usual linter convention: 0 clean, 1 findings,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.lint.baseline import Baseline
 from repro.lint.engine import LintEngine
+from repro.lint.graph import all_project_rules, message_flow, render_dot
 from repro.lint.report import render_json, render_rules, render_text
 from repro.lint.rules import all_rules
 
@@ -50,11 +52,20 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    lint.add_argument(
+        "--graph", choices=("dot", "json"), metavar="FMT",
+        help="export the message-flow graph (dot|json) instead of a report",
+    )
+    lint.add_argument(
+        "--cache", metavar="FILE",
+        help="on-disk facts cache for the whole-program pass, keyed by "
+        "file content hash (stats go to stderr; reports are unaffected)",
+    )
 
 
 def lint_command(args: argparse.Namespace) -> int:
     if args.list_rules:
-        print(render_rules(all_rules()), end="")
+        print(render_rules(all_rules() + all_project_rules()), end="")
         return 0
 
     baseline = None
@@ -76,10 +87,36 @@ def lint_command(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        result = engine.check_paths(args.paths)
+        result = engine.check_paths(args.paths, cache_path=args.cache)
     except (OSError, FileNotFoundError) as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
+
+    if args.cache:
+        # Stats go to stderr so cached and cold reports stay byte-identical.
+        print(
+            f"repro lint: cache: reindexed {len(result.reindexed)}/"
+            f"{result.files} file(s)"
+            + (
+                f" ({', '.join(result.reindexed)})"
+                if 0 < len(result.reindexed) <= 5
+                else ""
+            ),
+            file=sys.stderr,
+        )
+
+    if args.graph:
+        project = engine.project
+        if project is None:
+            print("repro lint: error: --graph needs at least one parsed file",
+                  file=sys.stderr)
+            return 2
+        flow = message_flow(project)
+        if args.graph == "dot":
+            print(render_dot(flow), end="")
+        else:
+            print(json.dumps(flow, sort_keys=True, separators=(",", ":")))
+        return 0 if result.ok else 1
 
     if args.write_baseline:
         path = Baseline.from_fingerprints(result.fingerprints).write(

@@ -83,6 +83,10 @@ class FileContext:
     layer: str | None = None
     imports: dict[str, str] = field(default_factory=dict)
     suppressions: dict[int, Suppression] = field(default_factory=dict)
+    #: (start, end, qualname) spans of every def/class, innermost last.
+    symbols: list[tuple[int, int, str]] = field(default_factory=list)
+    #: Lazily computed flat node list shared by every rule (see ``walk``).
+    _nodes: tuple[ast.AST, ...] | None = None
 
     @classmethod
     def parse(cls, source: str, rel: str) -> "FileContext":
@@ -97,6 +101,7 @@ class FileContext:
         )
         ctx._collect_imports()
         ctx._collect_suppressions()
+        ctx._collect_symbols(tree.body, prefix="")
         return ctx
 
     # ------------------------------------------------------------- imports
@@ -129,6 +134,19 @@ class FileContext:
         if node.module:
             parts.extend(node.module.split("."))
         return ".".join(parts)
+
+    def walk(self) -> tuple[ast.AST, ...]:
+        """Every node of the tree, walked once and shared by all rules.
+
+        A dozen rules each calling ``ast.walk(ctx.tree)`` re-traverses the
+        file a dozen times; the flat tuple makes the traversal cost
+        per-file instead of per-rule (the scan's former hot path).  Order
+        matches ``ast.walk`` (breadth-first), so findings keep their
+        historical ordering.
+        """
+        if self._nodes is None:
+            self._nodes = tuple(ast.walk(self.tree))
+        return self._nodes
 
     def resolve(self, node: ast.AST) -> str | None:
         """Dotted origin of a name/attribute chain, through import aliases.
@@ -185,3 +203,28 @@ class FileContext:
         if 1 <= line <= len(self.lines):
             return self.lines[line - 1]
         return ""
+
+    # ------------------------------------------------------------- symbols
+    def _collect_symbols(self, body: list[ast.stmt], prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qualname = f"{prefix}{node.name}"
+                self.symbols.append(
+                    (node.lineno, node.end_lineno or node.lineno, qualname)
+                )
+                self._collect_symbols(node.body, prefix=f"{qualname}.")
+
+    def symbol_at(self, line: int) -> str:
+        """Qualname of the innermost def/class enclosing ``line``.
+
+        Used by the v2 baseline fingerprint: symbols survive file moves,
+        absolute line numbers do not. Module-level code (imports,
+        constants) reports ``<module>``.
+        """
+        best: tuple[int, str] | None = None
+        for start, end, qualname in self.symbols:
+            if start <= line <= end:
+                span = end - start
+                if best is None or span < best[0]:
+                    best = (span, qualname)
+        return best[1] if best is not None else "<module>"

@@ -4,6 +4,16 @@ The engine is deliberately boring and deterministic: files are visited in
 sorted order, findings are sorted by location, and nothing reads clocks —
 so two runs over the same tree produce byte-identical reports regardless
 of PYTHONHASHSEED (the same property the rules themselves enforce).
+
+Tree scans run in **two phases**. Phase one parses every file once and
+runs the per-file rules. Phase two distills the retained contexts into a
+:class:`~repro.lint.graph.index.ProjectIndex` (consulting the on-disk
+content-hash cache when one is configured), links the call graph, and
+runs the whole-program rules (DET101, MSG101, MSG102, PROTO101) over it.
+Suppression accounting (LINT001/LINT002) is deferred until after phase
+two so a ``# lint: ignore[DET101]`` on a project-rule finding counts as
+used; the baseline is applied last, over both phases' findings at once,
+with one global budget.
 """
 
 from __future__ import annotations
@@ -14,7 +24,10 @@ from pathlib import Path
 
 from repro.lint.baseline import Baseline
 from repro.lint.context import FileContext
-from repro.lint.findings import Finding, Severity, fingerprint
+from repro.lint.findings import Finding, Severity, fingerprint, legacy_fingerprint
+from repro.lint.graph.base import ProjectContext
+from repro.lint.graph.callgraph import CallGraph
+from repro.lint.graph.index import IndexCache, ProjectIndex
 from repro.lint.rules import all_rules
 
 #: Meta-rule ids emitted by the engine itself (not by plugins).
@@ -39,6 +52,9 @@ class LintResult:
     baselined: int = 0
     #: Fingerprint of every kept finding, for --write-baseline.
     fingerprints: list[str] = field(default_factory=list)
+    #: Files whose facts were re-extracted (index-cache misses); equals
+    #: every scanned file on a cold run or when no cache is configured.
+    reindexed: tuple[str, ...] = ()
 
     @property
     def errors(self) -> int:
@@ -61,60 +77,109 @@ class LintEngine:
         rules: Sequence | None = None,
         baseline: Baseline | None = None,
         select: Iterable[str] | None = None,
+        project_rules: Sequence | None = None,
     ) -> None:
+        from repro.lint.graph import all_project_rules
+
         self.rules = list(rules) if rules is not None else all_rules()
+        self.project_rules = (
+            list(project_rules) if project_rules is not None else all_project_rules()
+        )
         if select is not None:
             wanted = set(select)
-            unknown = wanted - {rule.rule_id for rule in self.rules} - set(META_RULES)
+            known = (
+                {rule.rule_id for rule in self.rules}
+                | {rule.rule_id for rule in self.project_rules}
+                | set(META_RULES)
+            )
+            unknown = wanted - known
             if unknown:
                 raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
             self.rules = [rule for rule in self.rules if rule.rule_id in wanted]
+            self.project_rules = [
+                rule for rule in self.project_rules if rule.rule_id in wanted
+            ]
         self.baseline = baseline
+        #: The last tree scan's linked view, for ``--graph`` exports.
+        self.project: ProjectContext | None = None
 
     def known_rule_ids(self) -> set[str]:
-        return {rule.rule_id for rule in self.rules} | set(META_RULES)
+        return (
+            {rule.rule_id for rule in self.rules}
+            | {rule.rule_id for rule in self.project_rules}
+            | set(META_RULES)
+        )
 
     # ----------------------------------------------------------- execution
     def check_source(
         self, source: str, rel: str, result: LintResult | None = None
     ) -> list[Finding]:
-        """Lint one in-memory source file; returns its (sorted) findings.
+        """Lint one in-memory source file with the **per-file** rules only
+        (whole-program rules need a whole program — see :meth:`check_paths`);
+        returns its (sorted) findings.
 
         ``result``, when given, accrues the suppressed/baselined counters.
         """
         counters = result if result is not None else LintResult()
-        try:
-            ctx = FileContext.parse(source, rel)
-        except SyntaxError as exc:
-            return [
-                Finding(
-                    rule=PARSE_ERROR,
-                    severity=Severity.ERROR,
-                    path=rel,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) or 1,
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
+        ctx = self._parse(source, rel)
+        if isinstance(ctx, Finding):
+            return [ctx]
+        kept = self._file_findings(ctx, counters)
+        kept.extend(self._suppression_findings(ctx))
+        kept = self._finish(kept, {rel: ctx}, counters)
+        return kept
 
+    def _parse(self, source: str, rel: str) -> FileContext | Finding:
+        try:
+            return FileContext.parse(source, rel)
+        except SyntaxError as exc:
+            return Finding(
+                rule=PARSE_ERROR,
+                severity=Severity.ERROR,
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                message=f"syntax error: {exc.msg}",
+            )
+
+    def _file_findings(self, ctx: FileContext, counters: LintResult) -> list[Finding]:
+        """Per-file rule findings with suppressions applied (phase one)."""
         raw: list[Finding] = []
         for rule in self.rules:
             raw.extend(rule.check(ctx))
-
         kept: list[Finding] = []
         for finding in raw:
             if ctx.suppressed(finding.rule, finding.line):
                 counters.suppressed += 1
             else:
                 kept.append(finding)
-        kept.extend(self._suppression_findings(ctx))
+        return kept
 
-        if self.baseline is not None:
-            kept = self._apply_baseline(ctx, kept, counters)
-        kept.sort(key=lambda f: f.sort_key)
-        counters.fingerprints.extend(
-            fingerprint(f, ctx.line_text(f.line)) for f in kept
-        )
+    def _finish(
+        self,
+        findings: list[Finding],
+        contexts: dict[str, FileContext],
+        counters: LintResult,
+    ) -> list[Finding]:
+        """Sort, apply the baseline globally, and collect fingerprints."""
+        findings.sort(key=lambda f: f.sort_key)
+        kept: list[Finding] = []
+        budget = dict(self.baseline.fingerprints) if self.baseline is not None else {}
+        for finding in findings:
+            ctx = contexts.get(finding.path)
+            line_text = ctx.line_text(finding.line) if ctx is not None else ""
+            symbol = ctx.symbol_at(finding.line) if ctx is not None else "<module>"
+            key = fingerprint(finding, line_text, symbol)
+            legacy = legacy_fingerprint(finding, line_text)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                counters.baselined += 1
+            elif budget.get(legacy, 0) > 0:
+                budget[legacy] -= 1
+                counters.baselined += 1
+            else:
+                kept.append(finding)
+                counters.fingerprints.append(key)
         return kept
 
     def _suppression_findings(self, ctx: FileContext) -> list[Finding]:
@@ -178,36 +243,67 @@ class LintEngine:
                 )
         return findings
 
-    def _apply_baseline(
-        self, ctx: FileContext, findings: list[Finding], counters: LintResult
-    ) -> list[Finding]:
-        assert self.baseline is not None
-        budget = dict(self.baseline.fingerprints)
-        kept: list[Finding] = []
-        for finding in findings:
-            key = fingerprint(finding, ctx.line_text(finding.line))
-            if budget.get(key, 0) > 0:
-                budget[key] -= 1
-                counters.baselined += 1
-            else:
-                kept.append(finding)
-        return kept
-
     # ----------------------------------------------------------- discovery
-    def check_paths(self, paths: Sequence[str | Path]) -> LintResult:
+    def check_paths(
+        self, paths: Sequence[str | Path], cache_path: str | Path | None = None
+    ) -> LintResult:
         """Lint files and directory trees; paths are reported relative to
-        the scanned root that contained them."""
+        the scanned root that contained them.
+
+        Runs both phases: per-file rules while parsing, then the
+        whole-program rules over the linked project index (consulting the
+        facts cache at ``cache_path``, if given).
+        """
         result = LintResult()
+        contexts: dict[str, FileContext] = {}
+        pending: list[Finding] = []
         for root, file in self._discover(paths):
             # Directory scans report paths relative to the scanned root;
             # explicit files keep the path as given (so layer classification
             # still sees the package directories above the file).
             rel = file.relative_to(root).as_posix() if root != file else file.as_posix()
             source = file.read_text(encoding="utf-8")
-            result.findings.extend(self.check_source(source, rel, result))
             result.files += 1
-        result.findings.sort(key=lambda f: f.sort_key)
+            ctx = self._parse(source, rel)
+            if isinstance(ctx, Finding):
+                pending.append(ctx)
+                continue
+            contexts[rel] = ctx
+            pending.extend(self._file_findings(ctx, result))
+
+        pending.extend(self._project_findings(contexts, result, cache_path))
+
+        # Suppression accounting runs only now, after both phases have had
+        # the chance to mark their suppressions used.
+        for rel in sorted(contexts):
+            pending.extend(self._suppression_findings(contexts[rel]))
+
+        result.findings = self._finish(pending, contexts, result)
         return result
+
+    def _project_findings(
+        self,
+        contexts: dict[str, FileContext],
+        result: LintResult,
+        cache_path: str | Path | None,
+    ) -> list[Finding]:
+        """Phase two: index, link, and run the whole-program rules."""
+        if not contexts:
+            return []
+        cache = IndexCache.load(cache_path) if cache_path is not None else None
+        index = ProjectIndex.build(contexts, cache)
+        result.reindexed = index.reindexed
+        graph = CallGraph.build(index)
+        self.project = ProjectContext(index=index, graph=graph)
+        kept: list[Finding] = []
+        for rule in self.project_rules:
+            for finding in rule.check(self.project):
+                ctx = contexts.get(finding.path)
+                if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+                    result.suppressed += 1
+                else:
+                    kept.append(finding)
+        return kept
 
     @staticmethod
     def _discover(paths: Sequence[str | Path]) -> list[tuple[Path, Path]]:

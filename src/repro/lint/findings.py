@@ -27,7 +27,10 @@ class Finding:
     """One rule violation at one source location.
 
     ``path`` is posix-style and relative to the scan root so reports are
-    byte-identical across machines and working directories.
+    byte-identical across machines and working directories. Whole-program
+    findings additionally carry a ``witness`` — the rendered call chain
+    (``name (file:line)`` hops) that substantiates an interprocedural
+    claim; per-file findings leave it empty.
     """
 
     rule: str
@@ -36,6 +39,7 @@ class Finding:
     line: int
     col: int
     message: str
+    witness: tuple[str, ...] = ()
 
     @property
     def sort_key(self) -> tuple[str, int, int, str]:
@@ -43,6 +47,14 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def render_witness(self) -> list[str]:
+        """Indented witness-path lines for the text reporter."""
+        lines: list[str] = []
+        for i, hop in enumerate(self.witness):
+            marker = "   witness:" if i == 0 else "        ->"
+            lines.append(f"{marker} {hop}")
+        return lines
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -52,14 +64,23 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "witness": list(self.witness),
         }
 
 
-def fingerprint(finding: Finding, line_text: str) -> str:
-    """Baseline identity of a finding: rule + file + normalized source line.
+def fingerprint(finding: Finding, line_text: str, symbol: str) -> str:
+    """Baseline identity of a finding: rule + enclosing symbol + source line.
 
-    Line *numbers* are deliberately excluded so unrelated edits above a
-    baselined finding do not invalidate the baseline; duplicate
-    fingerprints are counted, not collapsed (see :mod:`repro.lint.baseline`).
+    ``symbol`` is the innermost enclosing def/class qualname (or
+    ``<module>``), so fingerprints survive file moves and renames as long
+    as the symbol keeps its name. Line *numbers* and *paths* are
+    deliberately excluded; duplicate fingerprints are counted, not
+    collapsed (see :mod:`repro.lint.baseline`).
     """
+    return f"{finding.rule}::{symbol}::{line_text.strip()}"
+
+
+def legacy_fingerprint(finding: Finding, line_text: str) -> str:
+    """The v1 (path-based) fingerprint, kept so existing v1 baselines keep
+    matching until rewritten with ``--write-baseline``."""
     return f"{finding.rule}::{finding.path}::{line_text.strip()}"

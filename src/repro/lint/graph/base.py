@@ -1,0 +1,74 @@
+"""Project-rule base class and registry.
+
+Project rules are the whole-program counterpart of the per-file
+:class:`~repro.lint.rules.base.Rule`: they run once per scan, over a
+:class:`ProjectContext` bundling the fact index and the call graph, and
+yield findings that may carry a **witness path** — the call chain that
+makes an interprocedural claim checkable by a human reading the report.
+
+Registration mirrors the per-file registry so ``--select`` and
+``--list-rules`` treat both kinds uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.callgraph import CallGraph
+from repro.lint.graph.index import ProjectIndex
+
+PROJECT_RULE_REGISTRY: dict[str, type["ProjectRule"]] = {}
+
+
+@dataclass(slots=True)
+class ProjectContext:
+    """Everything a project rule sees: linked facts plus the call graph."""
+
+    index: ProjectIndex
+    graph: CallGraph
+
+
+class ProjectRule:
+    """One whole-program rule: a stable id, a severity, a project check."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        witness: tuple[str, ...] = (),
+        col: int = 1,
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            witness=witness,
+        )
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    if not cls.rule_id:
+        raise ValueError(f"project rule {cls.__name__} has no rule_id")
+    if cls.rule_id in PROJECT_RULE_REGISTRY:
+        raise ValueError(f"duplicate project rule id {cls.rule_id}")
+    PROJECT_RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Fresh instances of every registered project rule, sorted by id."""
+    return [PROJECT_RULE_REGISTRY[rule_id]() for rule_id in sorted(PROJECT_RULE_REGISTRY)]

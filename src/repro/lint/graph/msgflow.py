@@ -1,0 +1,409 @@
+"""Message-flow conformance: schema checks, send/handler pairing, barriers.
+
+Three whole-program rules over the indexed message dataclasses, send
+sites and handlers:
+
+* **MSG101** — a handler reads a field off an annotated message parameter
+  that the frozen dataclass does not define: a guaranteed
+  ``AttributeError`` the first time that handler runs.
+* **MSG102** — flow mismatches: a message type that is sent somewhere but
+  dispatched by no handler anywhere (the send can never be acted on), and
+  the dual — a handler dispatching a type nothing in the project
+  constructs (dead protocol surface).
+* **PROTO101** — an acknowledgement (``Promise`` / ``Accepted`` /
+  ``AcceptedBatch``) reachable from a handler entry point along a call
+  path that performs a safety-critical stable write (``accept`` /
+  ``record_promise`` / ``record_round``) with **no durability barrier**
+  (``store.flush`` / ``store.needs_barrier``) anywhere on the path. This
+  is the reachability upgrade of PROTO002: acked-but-volatile state is
+  exactly the crash bug §3.3's stable-storage contract exists to prevent.
+
+The module also builds the ``--graph`` export: the send/handle bipartite
+flow between functions and message types, as sorted JSON or Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.base import ProjectContext, ProjectRule, register_project
+from repro.lint.graph.facts import SAFETY_CRITICAL_MUTATORS
+from repro.lint.graph.index import ProjectIndex
+
+#: Acknowledgements whose transmission promises durable state to a peer.
+ACK_MESSAGES = frozenset({"Promise", "Accepted", "AcceptedBatch"})
+
+#: Attributes every (frozen, slots) dataclass instance legitimately has.
+_DATACLASS_BUILTINS = frozenset(
+    {"count", "index"}  # tuple-ish helpers appear on namedtuple-style uses
+)
+
+
+def _basename(dotted: str | None) -> str | None:
+    return dotted.rpartition(".")[2] if dotted else None
+
+
+def _schema(index: ProjectIndex, dotted: str) -> frozenset[str] | None:
+    """All attribute names defined on a class and its indexed bases."""
+    names: set[str] = set()
+    seen: set[str] = set()
+    queue = [dotted]
+    found = False
+    while queue:
+        current = queue.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        resolved = index.resolve_symbol(current)
+        if resolved is None:
+            continue
+        pair = index.cls(resolved)
+        if pair is None:
+            continue
+        found = True
+        _facts, cls_facts = pair
+        names.update(cls_facts.fields)
+        names.update(cls_facts.properties)
+        names.update(cls_facts.methods)
+        queue.extend(cls_facts.bases)
+    return frozenset(names) if found else None
+
+
+def _message_param_types(
+    index: ProjectIndex, params: tuple[tuple[str, str | None], ...]
+) -> dict[str, str]:
+    """Param name -> dotted message class, for annotated message params."""
+    out: dict[str, str] = {}
+    messages = index.message_classes()
+    for name, annotation in params:
+        resolved = index.resolve_symbol(annotation)
+        if resolved is not None and resolved in messages:
+            out[name] = resolved
+    return out
+
+
+@register_project
+class HandlerFieldSchema(ProjectRule):
+    rule_id = "MSG101"
+    severity = Severity.ERROR
+    summary = "handler reads a field the frozen message dataclass does not define"
+    rationale = (
+        "Frozen slots dataclasses raise AttributeError on unknown fields "
+        "only at runtime — under fault schedules a typo'd field in a "
+        "rarely-taken branch can sit untested until it crashes a replica "
+        "mid-protocol; the schema is static, so check it statically."
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        index = project.index
+        for module in sorted(index.modules):
+            facts = index.modules[module]
+            for qualname in sorted(facts.functions):
+                fn = facts.functions[qualname]
+                param_types = _message_param_types(index, fn.params)
+                if not param_types:
+                    continue
+                for param, attr, line in fn.reads:
+                    if param not in param_types or param in fn.rebound:
+                        continue
+                    schema = _schema(index, param_types[param])
+                    if schema is None or attr in schema:
+                        continue
+                    if attr in _DATACLASS_BUILTINS:
+                        continue
+                    cls_name = _basename(param_types[param])
+                    yield self.finding(
+                        path=facts.rel,
+                        line=line,
+                        message=(
+                            f"{qualname} reads {param}.{attr} but message "
+                            f"{cls_name} defines no field '{attr}' "
+                            f"(fields: {', '.join(sorted(schema)) or 'none'})"
+                        ),
+                    )
+
+
+@register_project
+class SendHandlerPairing(ProjectRule):
+    rule_id = "MSG102"
+    severity = Severity.ERROR
+    summary = "message type sent but never handled, or handled but never constructed"
+    rationale = (
+        "A send with no dispatching handler is protocol intent that can "
+        "never execute; a handler for a type nothing constructs is dead "
+        "protocol surface that silently rots — both mean the message flow "
+        "diverges from the design."
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        index = project.index
+        messages = index.message_classes()
+        handled = _handled_types(index)
+        constructed = _constructed_types(index)
+        for module in sorted(index.modules):
+            facts = index.modules[module]
+            for qualname in sorted(facts.functions):
+                fn = facts.functions[qualname]
+                for send in fn.sends:
+                    resolved = index.resolve_symbol(send.msg)
+                    if resolved is None or resolved not in messages:
+                        continue
+                    if resolved in handled:
+                        continue
+                    yield self.finding(
+                        path=facts.rel,
+                        line=send.line,
+                        message=(
+                            f"{qualname} {send.kind}s {_basename(resolved)} "
+                            "but no handler anywhere dispatches that type"
+                        ),
+                    )
+        for dotted in sorted(handled):
+            if dotted in constructed or dotted not in messages:
+                continue
+            for rel, line, qualname in sorted(handled[dotted]):
+                yield self.finding(
+                    path=rel,
+                    line=line,
+                    message=(
+                        f"{qualname} dispatches {_basename(dotted)} but "
+                        "nothing in the project constructs that message"
+                    ),
+                )
+
+
+@register_project
+class BarrierDominance(ProjectRule):
+    rule_id = "PROTO101"
+    severity = Severity.ERROR
+    summary = "ack send reachable from a handler past a stable write with no durability barrier on the path"
+    rationale = (
+        "Sending Promise/Accepted acknowledges state the peer may now rely "
+        "on across our crash (§3.3); if any handler-to-ack call path "
+        "performs the stable write without routing through a "
+        "store.flush()/needs_barrier barrier, a crash after send loses "
+        "acked state and re-opens the chosen-twice bug class."
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        index = project.index
+        graph = project.graph
+        barriers = frozenset(_barrier_nodes(index))
+        handlers = sorted(_handler_entries(index))
+        reachable = graph.reachable_from(handlers, blocked=barriers)
+        writers = {
+            node: sites
+            for node, sites in _critical_writers(index).items()
+            if node in reachable and node not in barriers
+        }
+        for writer in sorted(writers):
+            ack = _first_barrier_free_ack(project, writer, barriers)
+            if ack is None:
+                continue
+            ack_node, send = ack
+            handler_path = _first_handler_path(graph, handlers, writer, barriers)
+            mutator, write_line = writers[writer][0]
+            witness = _render_proto_witness(
+                project, handler_path, writer, mutator, write_line, ack_node, send
+            )
+            ack_pair = index.function(ack_node)
+            rel = ack_pair[0].rel if ack_pair is not None else "?"
+            yield self.finding(
+                path=rel,
+                line=send.line,
+                message=(
+                    f"{_basename(ack_node)} {send.kind}s "
+                    f"{_basename(send.msg)} on a handler path through "
+                    f"store.{mutator}() with no durability barrier "
+                    "(store.flush/needs_barrier) anywhere on the path"
+                ),
+                witness=witness,
+            )
+
+
+# ------------------------------------------------------------ shared scans
+def _handled_types(index: ProjectIndex) -> dict[str, list[tuple[str, int, str]]]:
+    """Message class -> [(rel, line, handler qualname)] dispatching it.
+
+    A type counts as handled when a handler either isinstance-dispatches
+    it or declares it as a parameter annotation.
+    """
+    out: dict[str, list[tuple[str, int, str]]] = {}
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        for qualname in sorted(facts.functions):
+            fn = facts.functions[qualname]
+            dispatched: list[str] = []
+            for dotted in fn.handled:
+                resolved = index.resolve_symbol(dotted)
+                if resolved is not None:
+                    dispatched.append(resolved)
+            if fn.handler:
+                dispatched.extend(
+                    _message_param_types(index, fn.params).values()
+                )
+            for resolved in dict.fromkeys(dispatched):
+                out.setdefault(resolved, []).append((facts.rel, fn.line, qualname))
+    return out
+
+
+def _constructed_types(index: ProjectIndex) -> set[str]:
+    """Every class the project constructs anywhere (resolved call targets)."""
+    out: set[str] = set()
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        for qualname in sorted(facts.functions):
+            for call in facts.functions[qualname].calls:
+                resolved = index.resolve_symbol(call.target)
+                if resolved is not None and index.cls(resolved) is not None:
+                    out.add(resolved)
+    return out
+
+
+def _handler_entries(index: ProjectIndex) -> list[str]:
+    out: list[str] = []
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        for qualname in sorted(facts.functions):
+            if facts.functions[qualname].handler:
+                out.append(f"{module}.{qualname}")
+    return out
+
+
+def _barrier_nodes(index: ProjectIndex) -> list[str]:
+    out: list[str] = []
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        for qualname in sorted(facts.functions):
+            if facts.functions[qualname].barrier:
+                out.append(f"{module}.{qualname}")
+    return out
+
+
+def _critical_writers(index: ProjectIndex) -> dict[str, list[tuple[str, int]]]:
+    """Node -> sorted safety-critical ``store.<mutator>()`` sites."""
+    out: dict[str, list[tuple[str, int]]] = {}
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        for qualname in sorted(facts.functions):
+            fn = facts.functions[qualname]
+            sites = sorted(
+                (mutator, line)
+                for mutator, line in fn.stable_calls
+                if mutator in SAFETY_CRITICAL_MUTATORS
+            )
+            if sites:
+                out[f"{module}.{qualname}"] = sites
+    return out
+
+
+def _first_barrier_free_ack(
+    project: ProjectContext, writer: str, barriers: frozenset[str]
+):
+    """First (node, send-site) acking a peer, barrier-free from ``writer``."""
+    graph = project.graph
+    index = project.index
+    for node in sorted(graph.reachable_from([writer], blocked=barriers)):
+        pair = index.function(node)
+        if pair is None:
+            continue
+        for send in pair[1].sends:
+            if _basename(index.resolve_symbol(send.msg)) in ACK_MESSAGES:
+                return node, send
+    return None
+
+
+def _first_handler_path(graph, handlers, writer, barriers):
+    for handler in handlers:
+        path = graph.shortest_path(handler, {writer}, blocked=barriers)
+        if path is not None:
+            return path
+    return [(writer, 0)]
+
+
+def _render_proto_witness(
+    project, handler_path, writer, mutator, write_line, ack_node, send
+) -> tuple[str, ...]:
+    graph = project.graph
+    index = project.index
+    rendered = list(graph.render_path(handler_path))
+    writer_pair = index.function(writer)
+    writer_rel = writer_pair[0].rel if writer_pair is not None else "?"
+    rendered.append(f"store.{mutator} ({writer_rel}:{write_line})")
+    if ack_node != writer:
+        ack_path = graph.shortest_path(writer, {ack_node})
+        if ack_path is not None:
+            rendered.extend(graph.render_path(ack_path)[1:])
+    ack_pair = index.function(ack_node)
+    ack_rel = ack_pair[0].rel if ack_pair is not None else "?"
+    rendered.append(
+        f"{send.kind} {_basename(index.resolve_symbol(send.msg))} ({ack_rel}:{send.line})"
+    )
+    return tuple(rendered)
+
+
+# ------------------------------------------------------------ graph export
+def message_flow(project: ProjectContext) -> dict:
+    """The send/handle bipartite flow, as a sorted JSON-ready document."""
+    index = project.index
+    messages = index.message_classes()
+    handled = _handled_types(index)
+    sends: list[dict] = []
+    for module in sorted(index.modules):
+        facts = index.modules[module]
+        for qualname in sorted(facts.functions):
+            fn = facts.functions[qualname]
+            for send in fn.sends:
+                resolved = index.resolve_symbol(send.msg)
+                if resolved is None or resolved not in messages:
+                    continue
+                sends.append(
+                    {
+                        "from": f"{module}.{qualname}",
+                        "kind": send.kind,
+                        "message": resolved,
+                        "line": send.line,
+                        "path": facts.rel,
+                    }
+                )
+    return {
+        "version": 1,
+        "messages": {
+            dotted: {
+                "fields": sorted(pair[1].fields),
+                "frozen": pair[1].frozen,
+                "path": pair[0].rel,
+            }
+            for dotted, pair in sorted(messages.items())
+        },
+        "sends": sends,
+        "handlers": {
+            dotted: sorted(qualname for _rel, _line, qualname in sites)
+            for dotted, sites in sorted(handled.items())
+            if dotted in messages
+        },
+        "call_edges": [
+            {"from": caller, "to": callee, "line": line}
+            for caller in project.graph.nodes()
+            for callee, line in project.graph.callees(caller)
+        ],
+    }
+
+
+def render_dot(flow: dict) -> str:
+    """Graphviz DOT of the send/handle flow (messages as boxes)."""
+    lines = ["digraph msgflow {", "  rankdir=LR;", '  node [fontsize=10];']
+    for dotted in sorted(flow["messages"]):
+        label = _basename(dotted)
+        lines.append(f'  "{dotted}" [shape=box,label="{label}"];')
+    for send in flow["sends"]:
+        style = "solid" if send["kind"] == "send" else "bold"
+        lines.append(
+            f'  "{send["from"]}" -> "{send["message"]}" [style={style}];'
+        )
+    for dotted, handlers in sorted(flow["handlers"].items()):
+        for handler in handlers:
+            lines.append(f'  "{dotted}" -> "{handler}" [style=dashed];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

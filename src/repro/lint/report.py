@@ -11,12 +11,16 @@ import json
 
 from repro.lint.engine import LintResult
 
-_REPORT_VERSION = 1
+_REPORT_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
-    """Human-readable report: one line per finding plus a summary."""
-    lines = [finding.render() for finding in result.findings]
+    """Human-readable report: one line per finding (whole-program findings
+    followed by their indented witness path) plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        lines.extend(finding.render_witness())
     lines.append(
         f"{len(result.findings)} finding(s) "
         f"({result.errors} error(s), {result.warnings} warning(s)) "

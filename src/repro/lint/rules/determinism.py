@@ -75,7 +75,7 @@ class AmbientNondeterminism(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_deterministic_layer(ctx):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             target = call_target(ctx, node)
@@ -113,7 +113,7 @@ class UnseededRng(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.rel.endswith(UNSEEDED_RNG_BOUNDARY):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             if call_target(ctx, node) != "random.Random":
@@ -157,7 +157,7 @@ class HashOrderIteration(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         iterables: list[ast.expr] = []
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 iterables.append(node.iter)
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
@@ -188,7 +188,7 @@ class UnsortedJson(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.rel.endswith(JSON_WRITER_EXEMPT):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             target = call_target(ctx, node)

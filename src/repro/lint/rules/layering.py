@@ -58,7 +58,7 @@ class CoreLayering(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.layer not in PURE_LAYERS:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 yield from self._check_import(ctx, node)
             elif isinstance(node, ast.Call):
@@ -120,7 +120,7 @@ class StableStoreBypass(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.layer in STORAGE_EXEMPT_LAYERS:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, ast.Assign):
                 for target in node.targets:
                     yield from self._check_target(ctx, target, node)

@@ -68,7 +68,7 @@ class MutableMessageDataclass(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.layer not in MESSAGE_LAYERS:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.ClassDef):
                 continue
             decorator = _dataclass_decorator(node)
@@ -108,7 +108,7 @@ class HandlerMutatesMessage(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if not _HANDLER_RE.match(node.name):

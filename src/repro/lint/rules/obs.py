@@ -117,7 +117,7 @@ class ProfilerScopeConvention(Rule):
         if ctx.rel.endswith(PROFILER_EXEMPT_FILES):
             return
         scopes: list[list[ast.stmt]] = [ctx.tree.body]
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 scopes.append(node.body)
         for body in scopes:
@@ -163,7 +163,7 @@ class MetricNameConvention(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.rel.endswith(EXEMPT_FILES):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             func = node.func

@@ -11,7 +11,6 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import stats as _scipy_stats
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,6 +45,11 @@ def confidence_interval(samples: Sequence[float], confidence: float = 0.99) -> f
     Returns 0.0 for samples of size < 2 (no variance estimate is possible);
     the paper's experiments always have hundreds of samples.
     """
+    # Imported here, not at module scope: scipy costs ~0.7 s to import and
+    # ``repro.util`` sits on the import path of every CLI entry point — the
+    # lint and sim commands never need it.
+    from scipy import stats as _scipy_stats
+
     n = len(samples)
     if n < 2:
         return 0.0

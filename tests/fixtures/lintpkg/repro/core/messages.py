@@ -1,0 +1,18 @@
+"""Wire messages for the golden-snapshot fixture protocol."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class Promise:
+    ballot: int

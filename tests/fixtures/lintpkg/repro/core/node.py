@@ -1,0 +1,49 @@
+"""Fixture node: one handler dispatch, a barriered promise path, and a
+helper chain into ``repro.util`` — enough surface to pin the call-graph
+and message-flow exports as golden snapshots."""
+
+from repro.core.messages import Ping, Pong, Promise
+from repro.core.store import Store
+from repro.util.seqs import next_seq
+
+
+class Node:
+    def __init__(self) -> None:
+        self.store = Store()
+
+    def send(self, dst: int, msg: object) -> None:
+        del dst, msg
+
+    def start(self) -> None:
+        self.send(0, Ping(seq=next_seq(0)))
+
+    def on_message(self, src: int, msg: object) -> None:
+        if isinstance(msg, Ping):
+            self._on_ping(src, msg)
+        elif isinstance(msg, Pong):
+            self._on_pong(src, msg)
+        elif isinstance(msg, Promise):
+            self._on_promise(src, msg)
+
+    def _on_ping(self, src: int, msg: Ping) -> None:
+        self.store.accept(msg.seq)
+        reply = Pong(seq=msg.seq)
+        if self.store.needs_barrier:
+            self.store.flush(lambda: self.send(src, reply))
+        else:
+            self.send(src, reply)
+
+    def _on_pong(self, src: int, msg: Pong) -> None:
+        self._promise(src, msg.seq)
+
+    def _on_promise(self, src: int, msg: Promise) -> None:
+        del src
+        self.store.record_promise(msg.ballot)
+
+    def _promise(self, src: int, ballot: int) -> None:
+        self.store.record_promise(ballot)
+        reply = Promise(ballot=ballot)
+        if self.store.needs_barrier:
+            self.store.flush(lambda: self.send(src, reply))
+        else:
+            self.send(src, reply)

@@ -1,0 +1,15 @@
+"""Stable storage stand-in for the golden-snapshot fixture protocol."""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.needs_barrier = False
+
+    def accept(self, seq: int) -> None:
+        del seq
+
+    def record_promise(self, ballot: int) -> None:
+        del ballot
+
+    def flush(self, callback) -> None:
+        callback()

@@ -1,0 +1,5 @@
+"""Deterministic sequence helper for the golden-snapshot fixture."""
+
+
+def next_seq(seq: int) -> int:
+    return seq + 1

@@ -3,6 +3,10 @@
 * the shipped ``src/`` tree is clean (under the shipped, empty baseline);
 * seeding a DET001 violation into a copy of ``core/replica.py`` turns the
   scan red and the report names the rule, file and line;
+* seeding a two-hop ambient leak trips the whole-program DET101 with the
+  full witness chain, and a typo'd ``Promise`` field trips MSG101;
+* the on-disk index cache is correct: warm output is byte-identical to
+  cold and touching one file re-indexes only that file;
 * two full self-scans are byte-identical across PYTHONHASHSEED values.
 """
 
@@ -83,7 +87,126 @@ class TestSeededViolation:
         )
         target.write_text(source, encoding="utf-8")
         assert main(["lint", str(root)]) == 0
-        assert "1 suppressed" in capsys.readouterr().out
+        # The seeded DET001 suppression plus the shipped MSG102 suppression
+        # in the copied fastpaxos.py.
+        assert "2 suppressed" in capsys.readouterr().out
+
+
+class TestSeededProjectViolations:
+    """The ISSUE-mandated seeded bugs for the whole-program rules: the
+    analyzer must catch them *through* the call graph, not just at the
+    offending line."""
+
+    @pytest.fixture
+    def core_copy(self, tmp_path):
+        tree = tmp_path / "repro" / "core"
+        tree.parent.mkdir()
+        shutil.copytree(SRC / "repro" / "core", tree)
+        return tmp_path
+
+    def test_two_hop_ambient_leak_trips_det101_with_full_path(
+        self, core_copy, capsys
+    ):
+        # A helper package two call hops away from replica.py reads the
+        # wall clock; replica.py itself never mentions ``time``.
+        util = core_copy / "repro" / "util"
+        util.mkdir()
+        (util / "leak.py").write_text(
+            "import time\n\n\n"
+            "def leak_helper(x):\n"
+            "    return _stamp(x)\n\n\n"
+            "def _stamp(x):\n"
+            "    return (x, time.time())\n",
+            encoding="utf-8",
+        )
+        target = core_copy / "repro" / "core" / "replica.py"
+        source = target.read_text(encoding="utf-8")
+        source += (
+            "\n\nfrom repro.util.leak import leak_helper\n\n\n"
+            "def _leaky_entry(x):\n"
+            "    return leak_helper(x)\n"
+        )
+        target.write_text(source, encoding="utf-8")
+        assert main(["lint", str(core_copy), "--select", "DET101"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+        assert "repro/core/replica.py" in out
+        # The witness names every hop of the chain, ending at the clock.
+        assert "repro.core.replica._leaky_entry" in out
+        assert "repro.util.leak.leak_helper" in out
+        assert "repro.util.leak._stamp" in out
+        assert "time.time" in out
+
+    def test_promise_field_typo_trips_msg101_with_file_line(
+        self, core_copy, capsys
+    ):
+        target = core_copy / "repro" / "core" / "replica.py"
+        source = target.read_text(encoding="utf-8")
+        source += (
+            "\n\ndef _peek_promise(msg: Promise) -> int:\n"
+            "    return msg.balot\n"
+        )
+        target.write_text(source, encoding="utf-8")
+        line = source.count("\n")  # the read is the last line
+        assert main(["lint", str(core_copy), "--select", "MSG101"]) == 1
+        out = capsys.readouterr().out
+        assert "MSG101" in out
+        assert f"repro/core/replica.py:{line}" in out
+        assert "balot" in out
+
+
+class TestIndexCache:
+    def test_warm_scan_byte_identical_and_single_file_reindex(
+        self, tmp_path, capsys
+    ):
+        tree = tmp_path / "repro"
+        shutil.copytree(SRC / "repro", tree)
+        cache = tmp_path / "lint-cache.json"
+        argv = ["lint", str(tmp_path), "--cache", str(cache)]
+
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        total = int(cold.err.split("reindexed ")[1].split("/")[1].split()[0])
+        assert f"reindexed {total}/{total}" in cold.err
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # stdout never depends on cache state
+        assert f"reindexed 0/{total}" in warm.err
+
+        # Touching one file re-indexes exactly that file...
+        target = tree / "core" / "replica.py"
+        target.write_text(
+            target.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        assert main(argv) == 0
+        touched = capsys.readouterr()
+        assert f"reindexed 1/{total}" in touched.err
+        assert "repro/core/replica.py" in touched.err
+        # ...and the report is still byte-identical to a cold scan.
+        cache.unlink()
+        assert main(argv) == 0
+        recold = capsys.readouterr()
+        assert touched.out == recold.out
+
+
+class TestGraphExport:
+    def test_graph_json_export(self, capsys):
+        assert main(["lint", str(SRC), "--graph", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert "repro.core.messages.Promise" in document["messages"]
+        assert document["sends"], "the real tree has send sites"
+        assert document["handlers"], "the real tree has handlers"
+        assert document["call_edges"], "the real tree has call edges"
+
+    def test_graph_dot_export(self, capsys):
+        assert main(["lint", str(SRC), "--graph", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph msgflow {")
+        assert out.rstrip().endswith("}")
+        assert "Promise" in out
 
 
 class TestSelfScanDeterminism:

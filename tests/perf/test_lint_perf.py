@@ -1,0 +1,65 @@
+"""Perf guard for the whole-program analyzer — opt in with ``--perf``.
+
+The ISSUE budget: a cold project scan of ``src/`` must finish in under
+10 s and a warm (cached) scan in under 2 s, and the report — including
+the ``--graph json`` export — must be byte-identical across
+PYTHONHASHSEED values.  Wall-clock ceilings are deliberately generous
+(the calibrated cold scan is well under 2 s); they gate accidental
+quadratic blowups in the index or call-graph build, not machine speed.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+COLD_BUDGET_S = 10.0
+WARM_BUDGET_S = 2.0
+
+
+def _run_lint(extra: list[str], *, seed: str = "0") -> subprocess.CompletedProcess:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(SRC), *extra],
+        capture_output=True,
+        env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed},
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc
+
+
+class TestAnalyzerWallClock:
+    def test_cold_and_warm_scan_budgets(self, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+
+        start = time.perf_counter()
+        _run_lint(["--cache", str(cache)])
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        proc = _run_lint(["--cache", str(cache)])
+        warm = time.perf_counter() - start
+
+        print(f"cold scan: {cold:.2f}s (budget {COLD_BUDGET_S}s), "
+              f"warm scan: {warm:.2f}s (budget {WARM_BUDGET_S}s)")
+        assert "reindexed 0/" in proc.stderr.decode()
+        assert cold < COLD_BUDGET_S
+        assert warm < WARM_BUDGET_S
+
+
+class TestAnalyzerHashSeedStability:
+    def test_report_and_graph_export_stable_across_seeds(self):
+        for extra in (["--format", "json"], ["--graph", "json"]):
+            outputs = [_run_lint(extra, seed=seed).stdout for seed in ("1", "987")]
+            assert outputs[0] == outputs[1], f"unstable output for {extra}"
+        document = json.loads(outputs[0])
+        assert document["call_edges"], "graph export must not be empty"

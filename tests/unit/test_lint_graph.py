@@ -1,0 +1,389 @@
+"""Unit tests for the whole-program analysis layer: facts, index, cache,
+call graph, and the v2 (symbol-based) baseline fingerprints."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, LintEngine, render_json
+from repro.lint.context import FileContext
+from repro.lint.graph.callgraph import CallGraph
+from repro.lint.graph.facts import FileFacts, extract_facts, module_of
+from repro.lint.graph.index import IndexCache, ProjectIndex
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def parse(source: str, rel: str) -> FileContext:
+    return FileContext.parse(source, rel)
+
+
+def build_index(files: dict[str, str], cache: IndexCache | None = None) -> ProjectIndex:
+    contexts = {rel: parse(source, rel) for rel, source in files.items()}
+    return ProjectIndex.build(contexts, cache)
+
+
+NODE = """\
+from repro.core.messages import Ping, Pong
+from repro.core.store import Store
+
+
+class Node:
+    def __init__(self) -> None:
+        self.store = Store()
+
+    def send(self, dst: int, msg: object) -> None:
+        del dst, msg
+
+    def on_message(self, src: int, msg: object) -> None:
+        if isinstance(msg, Ping):
+            self._on_ping(src, msg)
+        elif isinstance(msg, Pong):
+            self._on_pong(src, msg)
+
+    def _on_ping(self, src: int, msg: Ping) -> None:
+        self.store.accept(msg.seq)
+        if self.store.needs_barrier:
+            self.store.flush(lambda: self.send(src, Pong(seq=msg.seq)))
+        else:
+            self.send(src, Pong(seq=msg.seq))
+
+    def _on_pong(self, src: int, msg: Pong) -> None:
+        del src
+        self.helper(msg.seq)
+
+    def helper(self, seq: int) -> int:
+        return seq * 2
+
+    def start(self) -> None:
+        self.send(0, Ping(seq=1))
+"""
+
+MESSAGES = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    seq: int
+"""
+
+STORE = """\
+class Store:
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.needs_barrier = True
+
+    def accept(self, seq: int) -> None:
+        self.rows.append(seq)
+
+    def flush(self, callback) -> None:
+        callback()
+"""
+
+FIXTURE = {
+    "repro/core/messages.py": MESSAGES,
+    "repro/core/node.py": NODE,
+    "repro/core/store.py": STORE,
+}
+
+
+class TestFacts:
+    def test_module_of(self):
+        assert module_of("repro/core/replica.py") == "repro.core.replica"
+        assert module_of("repro/core/__init__.py") == "repro.core"
+        assert module_of("mod.py") == "mod"
+
+    def test_handler_and_dispatch_extraction(self):
+        facts = extract_facts(parse(NODE, "repro/core/node.py"))
+        on_message = facts.functions["Node.on_message"]
+        assert on_message.handler
+        assert on_message.handled == (
+            "repro.core.messages.Ping",
+            "repro.core.messages.Pong",
+        )
+        assert not facts.functions["Node.helper"].handler
+
+    def test_sends_and_flush_callback_attribution(self):
+        facts = extract_facts(parse(NODE, "repro/core/node.py"))
+        on_ping = facts.functions["Node._on_ping"]
+        # Both the flush-callback send and the else-branch send belong to
+        # _on_ping, and both resolve the Pong constructor.
+        assert [send.msg for send in on_ping.sends] == [
+            "repro.core.messages.Pong",
+            "repro.core.messages.Pong",
+        ]
+        assert on_ping.barrier
+        assert on_ping.stable_calls == (("accept", 19),)
+
+    def test_param_reads_and_annotations(self):
+        facts = extract_facts(parse(NODE, "repro/core/node.py"))
+        on_pong = facts.functions["Node._on_pong"]
+        assert ("msg", "repro.core.messages.Pong") in on_pong.params
+        assert ("msg", "seq", 27) in on_pong.reads
+
+    def test_ambient_detection(self):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        facts = extract_facts(parse(source, "repro/util/clock.py"))
+        assert facts.functions["now"].ambient == (("time.time", 5),)
+
+    def test_local_names_qualified_with_module(self):
+        source = (
+            "from dataclasses import dataclass\n\n\n"
+            "@dataclass(frozen=True, slots=True)\n"
+            "class Local:\n"
+            "    x: int\n\n\n"
+            "def make():\n"
+            "    return Local(x=1)\n"
+        )
+        facts = extract_facts(parse(source, "repro/core/mod.py"))
+        targets = [c.target for c in facts.functions["make"].calls]
+        assert "repro.core.mod.Local" in targets
+
+    def test_json_roundtrip_is_lossless(self):
+        for rel, source in FIXTURE.items():
+            facts = extract_facts(parse(source, rel))
+            restored = FileFacts.from_json(json.loads(json.dumps(facts.to_json())))
+            assert restored == facts
+
+    def test_message_classification(self):
+        facts = extract_facts(parse(MESSAGES, "repro/core/messages.py"))
+        assert facts.classes["Ping"].is_message
+        assert facts.classes["Ping"].frozen
+        assert facts.classes["Ping"].fields == ("seq",)
+
+
+class TestProjectIndex:
+    def test_function_lookup_module_and_method(self):
+        index = build_index(FIXTURE)
+        assert index.function("repro.core.node.Node._on_ping") is not None
+        assert index.function("repro.core.node.Node.missing") is None
+        facts, fn = index.function("repro.core.node.Node.helper")
+        assert facts.rel == "repro/core/node.py"
+        assert fn.name == "helper"
+
+    def test_resolve_symbol_chases_reexports(self):
+        files = dict(FIXTURE)
+        files["repro/core/__init__.py"] = "from repro.core.messages import Ping\n"
+        files["repro/api.py"] = "from repro.core import Ping\n"
+        index = build_index(files)
+        assert index.resolve_symbol("repro.api.Ping") == "repro.core.messages.Ping"
+
+    def test_find_method_walks_bases(self):
+        files = dict(FIXTURE)
+        files["repro/core/subnode.py"] = (
+            "from repro.core.node import Node\n\n\n"
+            "class SubNode(Node):\n"
+            "    def extra(self) -> None:\n"
+            "        pass\n"
+        )
+        index = build_index(files)
+        assert (
+            index.find_method("repro.core.subnode.SubNode", "helper")
+            == "repro.core.node.Node.helper"
+        )
+
+    def test_attr_type_wiring(self):
+        index = build_index(FIXTURE)
+        assert (
+            index.attr_type("repro.core.node.Node", "store")
+            == "repro.core.store.Store"
+        )
+
+    def test_message_classes_enumeration(self):
+        index = build_index(FIXTURE)
+        assert sorted(index.message_classes()) == [
+            "repro.core.messages.Ping",
+            "repro.core.messages.Pong",
+        ]
+
+
+class TestCallGraph:
+    @pytest.fixture
+    def graph(self):
+        return CallGraph.build(build_index(FIXTURE))
+
+    def test_self_method_edges(self, graph):
+        callees = [c for c, _ in graph.callees("repro.core.node.Node.on_message")]
+        assert "repro.core.node.Node._on_ping" in callees
+        assert "repro.core.node.Node._on_pong" in callees
+
+    def test_attr_method_edges(self, graph):
+        callees = [c for c, _ in graph.callees("repro.core.node.Node._on_ping")]
+        assert "repro.core.store.Store.accept" in callees
+        assert "repro.core.store.Store.flush" in callees
+
+    def test_constructor_edges(self, graph):
+        callees = [c for c, _ in graph.callees("repro.core.node.Node.__init__")]
+        assert "repro.core.store.Store.__init__" in callees
+
+    def test_reverse_edges(self, graph):
+        callers = graph.callers("repro.core.node.Node.helper")
+        assert callers == ("repro.core.node.Node._on_pong",)
+
+    def test_shortest_path_and_rendering(self, graph):
+        path = graph.shortest_path(
+            "repro.core.node.Node.on_message",
+            {"repro.core.node.Node.helper"},
+        )
+        assert [node for node, _ in path] == [
+            "repro.core.node.Node.on_message",
+            "repro.core.node.Node._on_pong",
+            "repro.core.node.Node.helper",
+        ]
+        rendered = graph.render_path(path)
+        assert rendered[0].startswith("repro.core.node.Node.on_message (repro/core/node.py:")
+        assert rendered[-1].endswith(")")
+
+    def test_reachability_respects_blocked_nodes(self, graph):
+        blocked = frozenset({"repro.core.node.Node._on_pong"})
+        reach = graph.reachable_from(
+            ["repro.core.node.Node.on_message"], blocked=blocked
+        )
+        assert "repro.core.node.Node.helper" not in reach
+        assert "repro.core.node.Node._on_ping" in reach
+
+
+class TestIndexCache:
+    def test_cold_run_reindexes_everything(self, tmp_path):
+        cache = IndexCache.load(tmp_path / "cache.json")
+        index = build_index(FIXTURE, cache)
+        assert sorted(index.reindexed) == sorted(FIXTURE)
+        assert (tmp_path / "cache.json").exists()
+
+    def test_warm_run_reindexes_nothing(self, tmp_path):
+        path = tmp_path / "cache.json"
+        build_index(FIXTURE, IndexCache.load(path))
+        warm = build_index(FIXTURE, IndexCache.load(path))
+        assert warm.reindexed == ()
+
+    def test_edit_reindexes_only_that_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        build_index(FIXTURE, IndexCache.load(path))
+        edited = dict(FIXTURE)
+        edited["repro/core/store.py"] += "\n# trailing comment\n"
+        warm = build_index(edited, IndexCache.load(path))
+        assert warm.reindexed == ("repro/core/store.py",)
+
+    def test_warm_facts_equal_cold_facts(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cold = build_index(FIXTURE, IndexCache.load(path))
+        warm = build_index(FIXTURE, IndexCache.load(path))
+        assert warm.files == cold.files
+
+    def test_corrupt_cache_treated_as_cold(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json", encoding="utf-8")
+        index = build_index(FIXTURE, IndexCache.load(path))
+        assert sorted(index.reindexed) == sorted(FIXTURE)
+
+    def test_version_mismatch_treated_as_cold(self, tmp_path):
+        path = tmp_path / "cache.json"
+        build_index(FIXTURE, IndexCache.load(path))
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["facts_version"] = -1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        index = build_index(FIXTURE, IndexCache.load(path))
+        assert sorted(index.reindexed) == sorted(FIXTURE)
+
+    def test_deleted_files_dropped_from_cache(self, tmp_path):
+        path = tmp_path / "cache.json"
+        build_index(FIXTURE, IndexCache.load(path))
+        smaller = {k: v for k, v in FIXTURE.items() if "store" not in k}
+        build_index(smaller, IndexCache.load(path))
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert "repro/core/store.py" not in document["files"]
+
+    def test_cached_engine_report_byte_identical_to_cold(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", FIXTURE)
+        cache = tmp_path / "cache.json"
+        cold = render_json(LintEngine().check_paths([tree], cache_path=cache))
+        warm = render_json(LintEngine().check_paths([tree], cache_path=cache))
+        assert cold == warm
+
+
+class TestSymbolAt:
+    def test_innermost_symbol_wins(self):
+        ctx = parse(NODE, "repro/core/node.py")
+        assert ctx.symbol_at(19) == "Node._on_ping"
+        assert ctx.symbol_at(1) == "<module>"
+
+    def test_nested_defs(self):
+        source = (
+            "class A:\n"
+            "    def outer(self):\n"
+            "        def inner():\n"
+            "            return 1\n"
+            "        return inner\n"
+        )
+        ctx = parse(source, "repro/core/mod.py")
+        assert ctx.symbol_at(4) == "A.outer.inner"
+        assert ctx.symbol_at(5) == "A.outer"
+
+
+class TestBaselineV2:
+    DIRTY = "import time\n\nnow = time.time()\n"
+
+    def test_fingerprints_survive_file_moves(self, tmp_path):
+        tree = write_tree(
+            tmp_path / "tree",
+            {"repro/core/mod.py": "import time\n\n\ndef f():\n    return time.time()\n"},
+        )
+        first = LintEngine().check_paths([tree])
+        baseline = Baseline.from_fingerprints(first.fingerprints)
+        assert first.fingerprints  # something to baseline
+
+        # Move the file: same symbol, new path.
+        (tree / "repro" / "core" / "mod.py").rename(
+            tree / "repro" / "core" / "renamed.py"
+        )
+        result = LintEngine(baseline=baseline).check_paths([tree])
+        assert result.ok
+        assert result.baselined == len(first.fingerprints)
+
+    def test_legacy_v1_baseline_still_matches(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", {"repro/core/mod.py": self.DIRTY})
+        clean = LintEngine().check_paths([tree])
+        assert not clean.ok
+        legacy = tmp_path / "v1.json"
+        legacy.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "tool": "repro-lint",
+                    "fingerprints": {
+                        "DET001::repro/core/mod.py::now = time.time()": 1
+                    },
+                }
+            ),
+            encoding="utf-8",
+        )
+        result = LintEngine(baseline=Baseline.load(legacy)).check_paths([tree])
+        assert result.ok
+        assert result.baselined == 1
+
+    def test_write_baseline_emits_v2(self, tmp_path):
+        tree = write_tree(tmp_path / "tree", {"repro/core/mod.py": self.DIRTY})
+        result = LintEngine().check_paths([tree])
+        path = tmp_path / "baseline.json"
+        Baseline.from_fingerprints(result.fingerprints).write(path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["version"] == 2
+        # v2 keys are symbol-based: module-level finding -> <module>.
+        assert list(document["fingerprints"]) == [
+            "DET001::<module>::now = time.time()"
+        ]

@@ -1,0 +1,535 @@
+"""Per-rule tests for the whole-program rules: DET101, MSG101, MSG102,
+PROTO101 — positive, negative, and suppression cases for each, driven
+through the real engine over small on-disk trees."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintEngine, render_text
+
+MESSAGES = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class Promise:
+    ballot: int
+"""
+
+STORE = """\
+class Store:
+    def __init__(self) -> None:
+        self.needs_barrier = True
+
+    def record_promise(self, ballot: int) -> None:
+        del ballot
+
+    def flush(self, callback) -> None:
+        callback()
+"""
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def scan(tmp_path: Path, files: dict[str, str], select: list[str]):
+    tree = write_tree(tmp_path / "tree", files)
+    engine = LintEngine(select=select)
+    return engine.check_paths([tree])
+
+
+class TestDET101:
+    LEAKY_HELPER = (
+        "import time\n\n\n"
+        "def stamp(x):\n"
+        "    return _now(x)\n\n\n"
+        "def _now(x):\n"
+        "    return (x, time.time())\n"
+    )
+
+    def test_two_hop_taint_fires_with_full_witness(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/replica.py": (
+                    "from repro.util.helper import stamp\n\n\n"
+                    "def choose(x):\n"
+                    "    return stamp(x)\n"
+                ),
+                "repro/util/helper.py": self.LEAKY_HELPER,
+            },
+            select=["DET101"],
+        )
+        assert [f.rule for f in result.findings] == ["DET101"]
+        finding = result.findings[0]
+        assert finding.path == "repro/core/replica.py"
+        assert finding.line == 5
+        assert "time.time" in finding.message
+        witness = "\n".join(finding.witness)
+        assert "repro.core.replica.choose" in witness
+        assert "repro.util.helper.stamp" in witness
+        assert "repro.util.helper._now" in witness
+        assert "time.time" in witness
+
+    def test_witness_rendered_in_text_report(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/replica.py": (
+                    "from repro.util.helper import stamp\n\n\n"
+                    "def choose(x):\n"
+                    "    return stamp(x)\n"
+                ),
+                "repro/util/helper.py": self.LEAKY_HELPER,
+            },
+            select=["DET101"],
+        )
+        text = render_text(result)
+        assert "witness:" in text
+        assert "->" in text
+
+    def test_clean_helper_chain_is_negative(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/replica.py": (
+                    "from repro.util.helper import stamp\n\n\n"
+                    "def choose(x):\n"
+                    "    return stamp(x)\n"
+                ),
+                "repro/util/helper.py": "def stamp(x):\n    return (x, 0)\n",
+            },
+            select=["DET101"],
+        )
+        assert result.ok
+
+    def test_direct_ambient_left_to_det001(self, tmp_path):
+        # A det-layer function calling time.time() directly is DET001's
+        # finding; DET101 must not double-report it.
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/replica.py": (
+                    "import time\n\n\n"
+                    "def choose(x):\n"
+                    "    return (x, time.time())\n"
+                ),
+            },
+            select=["DET101"],
+        )
+        assert result.ok
+
+    def test_nondet_layer_caller_is_negative(self, tmp_path):
+        # The frontier only matters inside deterministic layers.
+        result = scan(
+            tmp_path,
+            {
+                "repro/parallel/runner.py": (
+                    "from repro.util.helper import stamp\n\n\n"
+                    "def drive(x):\n"
+                    "    return stamp(x)\n"
+                ),
+                "repro/util/helper.py": self.LEAKY_HELPER,
+            },
+            select=["DET101"],
+        )
+        assert result.ok
+
+    def test_suppression_with_reason(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/replica.py": (
+                    "from repro.util.helper import stamp\n\n\n"
+                    "def choose(x):\n"
+                    "    return stamp(x)  # lint: ignore[DET101] -- fixture\n"
+                ),
+                "repro/util/helper.py": self.LEAKY_HELPER,
+            },
+            select=["DET101"],
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestMSG101:
+    def test_typo_field_fires_with_file_and_line(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n\n\n"
+                    "class Node:\n"
+                    "    def on_promise(self, src: int, msg: Promise) -> int:\n"
+                    "        return msg.balot\n"
+                ),
+            },
+            select=["MSG101"],
+        )
+        assert [f.rule for f in result.findings] == ["MSG101"]
+        finding = result.findings[0]
+        assert finding.path == "repro/core/node.py"
+        assert finding.line == 6
+        assert "balot" in finding.message
+        assert "ballot" in finding.message  # the real schema is named
+
+    def test_valid_field_is_negative(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n\n\n"
+                    "class Node:\n"
+                    "    def on_promise(self, src: int, msg: Promise) -> int:\n"
+                    "        return msg.ballot\n"
+                ),
+            },
+            select=["MSG101"],
+        )
+        assert result.ok
+
+    def test_rebound_param_is_negative(self, tmp_path):
+        # Once the parameter is reassigned its static type is unknown.
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n\n\n"
+                    "class Node:\n"
+                    "    def on_promise(self, src: int, msg: Promise) -> int:\n"
+                    "        msg = object()\n"
+                    "        return msg.balot\n"
+                ),
+            },
+            select=["MSG101"],
+        )
+        assert result.ok
+
+    def test_suppression_with_reason(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n\n\n"
+                    "class Node:\n"
+                    "    def on_promise(self, src: int, msg: Promise) -> int:\n"
+                    "        return msg.balot  # lint: ignore[MSG101] -- fixture\n"
+                ),
+            },
+            select=["MSG101"],
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestMSG102:
+    def test_orphan_send_fires(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Ping\n\n\n"
+                    "class Node:\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def start(self):\n"
+                    "        self.send(0, Ping(seq=1))\n"
+                ),
+            },
+            select=["MSG102"],
+        )
+        assert [f.rule for f in result.findings] == ["MSG102"]
+        finding = result.findings[0]
+        assert "Ping" in finding.message
+        assert "no handler" in finding.message
+        assert finding.line == 9
+
+    def test_dead_handler_fires(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Ping\n\n\n"
+                    "class Node:\n"
+                    "    def on_message(self, src, msg):\n"
+                    "        if isinstance(msg, Ping):\n"
+                    "            pass\n"
+                ),
+            },
+            select=["MSG102"],
+        )
+        assert [f.rule for f in result.findings] == ["MSG102"]
+        assert "nothing in the project constructs" in result.findings[0].message
+
+    def test_paired_send_and_handler_is_negative(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Ping\n\n\n"
+                    "class Node:\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def start(self):\n"
+                    "        self.send(0, Ping(seq=1))\n\n"
+                    "    def on_message(self, src, msg):\n"
+                    "        if isinstance(msg, Ping):\n"
+                    "            pass\n"
+                ),
+            },
+            select=["MSG102"],
+        )
+        assert result.ok
+
+    def test_payload_classes_not_flagged(self, tmp_path):
+        # A message constructed and *nested inside* another send (payload
+        # style, like PromiseEntry) is not an orphan send.
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Ping\n\n\n"
+                    "def build():\n"
+                    "    return Ping(seq=1)\n"
+                ),
+            },
+            select=["MSG102"],
+        )
+        assert result.ok
+
+    def test_suppression_with_reason(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Ping\n\n\n"
+                    "class Node:\n"
+                    "    def on_message(self, src, msg):  # lint: ignore[MSG102] -- fixture\n"
+                    "        if isinstance(msg, Ping):\n"
+                    "            pass\n"
+                ),
+            },
+            select=["MSG102"],
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestPROTO101:
+    def test_unbarriered_ack_fires_with_witness(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/store.py": STORE,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n"
+                    "from repro.core.store import Store\n\n\n"
+                    "class Node:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def on_prepare(self, src, msg):\n"
+                    "        self._promise(src)\n\n"
+                    "    def _promise(self, src):\n"
+                    "        self.store.record_promise(1)\n"
+                    "        self.send(src, Promise(ballot=1))\n"
+                ),
+            },
+            select=["PROTO101"],
+        )
+        assert [f.rule for f in result.findings] == ["PROTO101"]
+        finding = result.findings[0]
+        assert finding.path == "repro/core/node.py"
+        assert finding.line == 17  # the unbarriered ack-send site
+        assert "Promise" in finding.message
+        assert "record_promise" in finding.message
+        witness = "\n".join(finding.witness)
+        assert "on_prepare" in witness
+        assert "store.record_promise" in witness
+        assert "send Promise" in witness
+
+    def test_barriered_ack_is_negative(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/store.py": STORE,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n"
+                    "from repro.core.store import Store\n\n\n"
+                    "class Node:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def on_prepare(self, src, msg):\n"
+                    "        self._promise(src)\n\n"
+                    "    def _promise(self, src):\n"
+                    "        self.store.record_promise(1)\n"
+                    "        reply = Promise(ballot=1)\n"
+                    "        if self.store.needs_barrier:\n"
+                    "            self.store.flush(lambda: self.send(src, reply))\n"
+                    "        else:\n"
+                    "            self.send(src, reply)\n"
+                ),
+            },
+            select=["PROTO101"],
+        )
+        assert result.ok
+
+    def test_write_unreachable_from_handlers_is_negative(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/store.py": STORE,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n"
+                    "from repro.core.store import Store\n\n\n"
+                    "class Node:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def bootstrap(self, src):\n"
+                    "        self.store.record_promise(1)\n"
+                    "        self.send(src, Promise(ballot=1))\n"
+                ),
+            },
+            select=["PROTO101"],
+        )
+        assert result.ok
+
+    def test_non_ack_send_is_negative(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/store.py": STORE,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Ping\n"
+                    "from repro.core.store import Store\n\n\n"
+                    "class Node:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def on_prepare(self, src, msg):\n"
+                    "        self.store.record_promise(1)\n"
+                    "        self.send(src, Ping(seq=1))\n"
+                ),
+            },
+            select=["PROTO101"],
+        )
+        assert result.ok
+
+    def test_suppression_with_reason(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "repro/core/messages.py": MESSAGES,
+                "repro/core/store.py": STORE,
+                "repro/core/node.py": (
+                    "from repro.core.messages import Promise\n"
+                    "from repro.core.store import Store\n\n\n"
+                    "class Node:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n\n"
+                    "    def send(self, dst, msg):\n"
+                    "        del dst, msg\n\n"
+                    "    def on_prepare(self, src, msg):\n"
+                    "        self._promise(src)\n\n"
+                    "    def _promise(self, src):\n"
+                    "        self.store.record_promise(1)\n"
+                    "        self.send(src, Promise(ballot=1))  # lint: ignore[PROTO101] -- fixture\n"
+                ),
+            },
+            select=["PROTO101"],
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+
+class TestGoldenSnapshots:
+    """The fixture package under tests/fixtures/lintpkg pins the analyzer's
+    call-graph and message-flow exports byte-for-byte.  If these fail after
+    an intentional analyzer change, regenerate the goldens with the scan
+    below and review the diff."""
+
+    FIXTURES = Path(__file__).resolve().parents[1] / "fixtures"
+
+    def _project(self):
+        engine = LintEngine()
+        result = engine.check_paths([self.FIXTURES / "lintpkg"])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert engine.project is not None
+        return engine.project
+
+    def test_call_graph_matches_golden(self):
+        import json
+
+        project = self._project()
+        got = {
+            "version": 1,
+            "edges": {
+                caller: [[callee, line] for callee, line in callees]
+                for caller, callees in sorted(project.graph.edges.items())
+            },
+        }
+        golden = json.loads(
+            (self.FIXTURES / "lintpkg-callgraph.golden.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert got == golden
+
+    def test_message_flow_matches_golden(self):
+        import json
+
+        from repro.lint.graph import message_flow
+
+        project = self._project()
+        golden = json.loads(
+            (self.FIXTURES / "lintpkg-msgflow.golden.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert message_flow(project) == golden
+
+
+class TestProjectRuleCatalogue:
+    def test_project_rules_document_themselves(self):
+        from repro.lint import all_project_rules
+
+        rules = all_project_rules()
+        assert [rule.rule_id for rule in rules] == [
+            "DET101",
+            "MSG101",
+            "MSG102",
+            "PROTO101",
+        ]
+        for rule in rules:
+            assert rule.summary
+            assert rule.rationale
