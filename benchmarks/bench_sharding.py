@@ -1,0 +1,118 @@
+"""Sharding scale-up — closed-loop write throughput, 1 vs 4 groups.
+
+The single-log stack executes requests on one leader pipeline: with a
+modeled execution time E per request (§3.4's E component), the leader
+serializes every write and throughput is capped near ``1/E`` whatever
+the client count. Sharding the keyspace into replication groups gives
+each shard its own leader pipeline; with the workload spread evenly
+over 4 groups (keys pre-picked onto distinct shards), the four
+execution pipelines run concurrently and closed-loop throughput should
+approach 4x the single-log ceiling. The measured target is >= 2.5x —
+protocol latency (M, m) and the shared per-process fsync clock eat some
+of the ideal speedup.
+
+Same keys, same clients, same seed in both runs; only ``groups``
+changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import emit
+from repro.client.workload import single_kind_steps
+from repro.cluster.harness import Cluster, ClusterSpec
+from repro.cluster.metrics import collect
+from repro.net.profiles import get_profile
+from repro.services.kvstore import KVStoreService
+from repro.types import RequestKind
+from repro.util.tables import format_table
+
+#: crc32 % 4 = 0, 1, 2, 3 — one key per shard (test_shard_router pins the
+#: router to exactly this arithmetic, so the placement cannot drift).
+SHARD_KEYS = ("a4", "a0", "a5", "a1")
+N_CLIENTS = 8          # two closed-loop writers per shard key
+STEPS_PER_CLIENT = 25
+EXECUTE_TIME = 1e-3    # E dominates: the leader pipeline is the bottleneck
+GROUP_COUNTS = (1, 4)
+
+
+def run(groups: int):
+    workloads = []
+    for c in range(N_CLIENTS):
+        key = SHARD_KEYS[c % len(SHARD_KEYS)]
+        workloads.append(
+            single_kind_steps(
+                RequestKind.WRITE,
+                STEPS_PER_CLIENT,
+                op=lambda i, key=key: ("put", key, i),
+            )
+        )
+    spec = ClusterSpec(
+        profile=get_profile("sysnet"),
+        n_replicas=4,  # groups=4 puts one shard leader on each replica
+        seed=5,
+        groups=groups,
+        execute_time=EXECUTE_TIME,
+        client_timeout=2.0,
+    )
+    cluster = Cluster(spec, workloads, service_factory=KVStoreService)
+    cluster.run(max_time=600.0)
+    result = collect(cluster)
+    assert result.total_requests == N_CLIENTS * STEPS_PER_CLIENT
+    return result
+
+
+def compute():
+    series = {}
+    rows = []
+    for groups in GROUP_COUNTS:
+        result = run(groups)
+        series[groups] = {
+            "duration_s": result.duration,
+            "throughput_rps": result.throughput,
+            "mean_rrt_s": result.rrt.mean if result.rrt else 0.0,
+        }
+        rows.append(
+            [groups, f"{result.duration * 1e3:.1f}",
+             f"{result.throughput:.0f}",
+             f"{series[groups]['mean_rrt_s'] * 1e3:.2f}"]
+        )
+    speedup = (
+        series[4]["throughput_rps"] / series[1]["throughput_rps"]
+    )
+    text = (
+        "sharded replication — same keyed write workload, 1 vs 4 groups\n"
+        f"E = {EXECUTE_TIME * 1e3:.0f} ms per request; one leader pipeline per group\n"
+        f"measured speedup at 4 groups: {speedup:.2f}x (target >= 2.5x)\n"
+        + format_table(
+            ["groups", "duration (ms)", "req/s", "mean rrt (ms)"], rows
+        )
+    )
+    return text, series, speedup
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_sharding_write_scaleup(once):
+    text, series, speedup = once(compute)
+    emit("sharding", text,
+         data={"series": {str(g): series[g] for g in series}},
+         metrics={
+             "groups1_throughput": {
+                 "value": series[1]["throughput_rps"],
+                 "unit": "req/s", "direction": "higher",
+             },
+             "groups4_throughput": {
+                 "value": series[4]["throughput_rps"],
+                 "unit": "req/s", "direction": "higher",
+             },
+             "sharding_speedup": {
+                 "value": speedup, "unit": "x", "direction": "higher",
+             },
+         },
+         profile="sysnet", protocol="basic")
+    # Four concurrent leader pipelines must beat one by a wide margin.
+    assert speedup >= 2.5, f"sharding speedup {speedup:.2f}x below 2.5x"
+    # Latency under load drops too: each closed-loop writer queues behind
+    # 1/4 as much execution.
+    assert series[4]["mean_rrt_s"] < series[1]["mean_rrt_s"]

@@ -23,6 +23,9 @@ of §3.1, plus the X-/T-Paxos extensions of §3.4–3.6):
   one txn id, ops numbered ``0..n-1`` in order, terminated by a
   ``TXN_COMMIT`` whose ``txn_seq`` equals the op count (no torn suffix
   committed after a leader switch, §3.6).
+* ``cross_group_at_most_once`` — sharded clusters only: no request id is
+  chosen by more than one replication group (the deterministic router
+  really does send every retransmission of a request to the same shard).
 * ``linearizability`` — reads and writes of the designated register form a
   linearizable history (covers X-Paxos read freshness, §3.4: a read "must
   reflect the latest update").
@@ -34,12 +37,18 @@ of §3.1, plus the X-/T-Paxos extensions of §3.4–3.6):
   recovery model assumes a majority of stable stores survive).
 * ``liveness`` — once faults stop and a majority is stable, every client
   finishes its workload before the grace deadline.
+
+On a sharded cluster every replication group is its own consensus
+instance: the per-log invariants run once per group over that group's
+snapshots (violations are tagged ``[g<N>]``), while durability is judged
+per *device* — all of one process's groups share one platter, so a rid is
+safe if any of the process's group WALs holds it durably.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, TYPE_CHECKING
 
 from repro.analysis.linearizability import check_register, history_from_clients
@@ -55,6 +64,7 @@ INVARIANTS = (
     "prefix_consistency",
     "state_convergence",
     "txn_atomicity",
+    "cross_group_at_most_once",
     "linearizability",
     "acked_durability",
     "liveness",
@@ -253,6 +263,36 @@ def _torn_txn(requests: Sequence[Any]) -> str | None:
     return None
 
 
+def check_cross_group_at_most_once(
+    snapshots_by_group: Mapping[int, Sequence[Mapping[str, Any]]],
+) -> list[Violation]:
+    """No request id may be chosen by more than one replication group.
+
+    Within a group the ExecutedTable dedups retransmissions; *across*
+    groups the only guard is the router's determinism. A rid chosen in two
+    groups means two processes disagreed about where a request lives —
+    and its op would execute twice in two state machines."""
+    violations: list[Violation] = []
+    groups_by_rid: dict[str, set[int]] = {}
+    for group_id, snapshots in snapshots_by_group.items():
+        for snap in snapshots:
+            for _instance, proposal in snap["chosen"]:
+                for request in proposal.requests:
+                    groups_by_rid.setdefault(str(request.rid), set()).add(group_id)
+    for rid in sorted(groups_by_rid):
+        groups = groups_by_rid[rid]
+        if len(groups) > 1:
+            violations.append(
+                Violation(
+                    "cross_group_at_most_once",
+                    f"request {rid} chosen by {len(groups)} replication "
+                    f"groups: {sorted(groups)}",
+                    data={"rid": rid, "groups": sorted(groups)},
+                )
+            )
+    return violations
+
+
 def check_linearizability(
     clients: Iterable, key: Any, initial: Any = None
 ) -> list[Violation]:
@@ -362,16 +402,42 @@ def check_cluster(
     ``register_key`` enables the linearizability check for that key;
     ``liveness_deadline`` enables the liveness check (the caller decides
     when the post-heal grace period has expired).
+
+    Sharded clusters report one snapshot per (process, group) pair; the
+    per-log invariants run within each group and their violations carry a
+    ``[g<N>]`` tag. Single-group clusters take the exact legacy path.
     """
-    snapshots = [
-        replica.invariant_snapshot() for replica in cluster.replicas.values()
-    ]
+    by_group: dict[int, list[Mapping[str, Any]]] = {}
+    for replica in cluster.replicas.values():
+        if hasattr(replica, "invariant_snapshots"):
+            group_snaps = replica.invariant_snapshots()
+        else:
+            group_snaps = [replica.invariant_snapshot()]
+        for snap in group_snaps:
+            by_group.setdefault(snap.get("group", 0), []).append(snap)
+    sharded = len(by_group) > 1
+
     violations: list[Violation] = []
-    violations.extend(check_log_agreement(snapshots))
-    violations.extend(check_at_most_once(snapshots))
-    violations.extend(check_prefix_consistency(snapshots))
-    violations.extend(check_state_convergence(snapshots))
-    violations.extend(check_txn_atomicity(snapshots))
+    for group_id in sorted(by_group):
+        snapshots = by_group[group_id]
+        group_violations: list[Violation] = []
+        group_violations.extend(check_log_agreement(snapshots))
+        group_violations.extend(check_at_most_once(snapshots))
+        group_violations.extend(check_prefix_consistency(snapshots))
+        group_violations.extend(check_state_convergence(snapshots))
+        group_violations.extend(check_txn_atomicity(snapshots))
+        if sharded:
+            group_violations = [
+                replace(
+                    v,
+                    detail=f"[g{group_id}] {v.detail}",
+                    data={**v.data, "rgroup": group_id},
+                )
+                for v in group_violations
+            ]
+        violations.extend(group_violations)
+    if sharded:
+        violations.extend(check_cross_group_at_most_once(by_group))
     if register_key is not None:
         violations.extend(
             check_linearizability(
@@ -385,9 +451,31 @@ def check_cluster(
     if cluster.config.track_commits:
         violations.extend(
             check_acked_durability(
-                cluster.clients, snapshots, cluster.config.majority
+                cluster.clients,
+                _device_snapshots(by_group) if sharded else by_group[0],
+                cluster.config.majority,
             )
         )
     if liveness_deadline is not None:
         violations.extend(check_liveness(cluster.clients, liveness_deadline))
     return violations
+
+
+def _device_snapshots(
+    by_group: Mapping[int, Sequence[Mapping[str, Any]]],
+) -> list[dict[str, Any]]:
+    """Collapse per-(process, group) snapshots to one per *device*.
+
+    All of a process's groups share one simulated platter, so intactness
+    is a property of the process and a rid is durable on the device if any
+    group's WAL (or checkpoint fold) holds it."""
+    devices: dict[str, dict[str, Any]] = {}
+    for snapshots in by_group.values():
+        for snap in snapshots:
+            device = devices.setdefault(
+                snap["pid"],
+                {"pid": snap["pid"], "storage_intact": True, "durable_rids": set()},
+            )
+            device["storage_intact"] &= bool(snap["storage_intact"])
+            device["durable_rids"] |= set(snap["durable_rids"])
+    return [devices[pid] for pid in sorted(devices)]

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.chaos.invariants import Violation, check_cluster
-from repro.chaos.schedule import NemesisSchedule, generate_schedule
+from repro.chaos.schedule import NemesisSchedule, assign_groups, generate_schedule
 from repro.client.workload import Step, txn_steps
 from repro.cluster.harness import Cluster, ClusterSpec
 from repro.core.config import ReplicaConfig
@@ -74,8 +74,16 @@ class ChaosOptions:
     #: boundary — with ``fsync="async"`` every write is instantly durable
     #: and the nemeses would be inert no-ops.
     storage_faults: bool = False
+    #: Replication groups per process (keyspace shards). ``1`` builds the
+    #: classic single-log cluster, byte-identical to pre-sharding trials;
+    #: ``>1`` builds :class:`~repro.shard.host.GroupHost` processes, adds
+    #: spread-key traffic so every shard sees writes, rotates leader
+    #: nemeses across groups, and checks the invariants per group.
+    groups: int = 1
 
     def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ConfigError(f"need at least one group, got {self.groups}")
         if self.protocol not in PROTOCOLS:
             raise ConfigError(
                 f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}"
@@ -146,6 +154,12 @@ def build_workload(options: ChaosOptions, seed: int) -> list[list[Step]]:
     only when the cluster enables it); T-Paxos wraps ops in transactions.
     Seeded think-time gaps pace each client so its traffic spans the whole
     fault horizon — a fault injected at any point lands on live requests.
+
+    On a sharded cluster every other write targets a per-client spread key
+    instead of the shared register, so traffic lands on multiple groups
+    (the linearizability checker reads only the register's history and is
+    unaffected). The branch is guarded by ``groups > 1``: single-group
+    workloads draw the exact same RNG sequence as before sharding existed.
     """
     mean_gap = options.horizon / max(options.requests_per_client, 1)
     all_steps: list[list[Step]] = []
@@ -175,7 +189,10 @@ def build_workload(options: ChaosOptions, seed: int) -> list[list[Step]]:
                     )
                 )
             else:
-                put = ("put", REGISTER_KEY, f"{pid}:{i}")
+                key = REGISTER_KEY
+                if options.groups > 1 and i % 2:
+                    key = f"s:{pid}:{i}"
+                put = ("put", key, f"{pid}:{i}")
                 steps.append(
                     Step(
                         requests=((RequestKind.WRITE, put),),
@@ -208,6 +225,9 @@ def _mutate_minority_accept(cluster: Cluster) -> None:
     broken = _MinorityAcceptConfig(**fields)
     for replica in cluster.replicas.values():
         replica.config = broken
+        # Sharded hosts do quorum math inside each ReplicationGroup.
+        for group in getattr(replica, "groups", {}).values():
+            group.config = broken
 
 
 def _mutate_skip_fsync(cluster: Cluster) -> None:
@@ -219,8 +239,14 @@ def _mutate_skip_fsync(cluster: Cluster) -> None:
     durable copies — which is exactly what the ``acked_durability``
     invariant asserts cannot happen. Test-only."""
     for replica in cluster.replicas.values():
-        replica.store.flush = lambda callback: callback()  # type: ignore[method-assign]
-        replica.store._start_fsync = lambda: None  # type: ignore[method-assign]
+        # ``store`` is a StableStore (standalone replica) or the shared
+        # StoragePump (sharded host); either way the pump is what issues
+        # fsyncs, so neuter it there and short-circuit every barrier.
+        store = replica.store
+        pump = getattr(store, "pump", store)
+        store.flush = lambda callback: callback()  # type: ignore[method-assign]
+        pump.flush = lambda callback: callback()  # type: ignore[method-assign]
+        pump._start_fsync = lambda: None  # type: ignore[method-assign]
 
 
 #: name -> callable(cluster) applied after construction, before start.
@@ -246,6 +272,7 @@ def build_cluster(options: ChaosOptions, seed: int) -> Cluster:
         tracing=options.tracing,
         connection_scaling=False,
         fsync=options.fsync,
+        groups=options.groups,
         # Fold committed rids into checkpoints/state transfer so the
         # acked-durability check can account for compacted WAL prefixes.
         # Only wired up when the durability boundary is real: with async
@@ -325,7 +352,14 @@ def run_with_schedule(
 def run_chaos(
     seed: int, options: ChaosOptions, keep_cluster: bool = False
 ) -> ChaosResult:
-    """Generate the seed's nemesis schedule and run the trial."""
+    """Generate the seed's nemesis schedule and run the trial.
+
+    Sharded trials (``options.groups > 1``) post-process the schedule with
+    :func:`~repro.chaos.schedule.assign_groups`, which rotates leader
+    switches across replication groups — the generated timeline itself is
+    untouched, so a sharded sweep stays event-for-event comparable to the
+    single-group sweep of the same seed.
+    """
     cluster_pids = tuple(f"r{i}" for i in range(options.n_replicas))
     schedule = generate_schedule(
         seed,
@@ -335,4 +369,6 @@ def run_chaos(
         allow_majority_loss=options.allow_majority_loss,
         storage=options.storage_faults,
     )
+    if options.groups > 1:
+        schedule = assign_groups(schedule, options.groups)
     return run_with_schedule(schedule, options, keep_cluster=keep_cluster)

@@ -58,7 +58,9 @@ class NemesisEvent:
     * ``partition`` — ``groups`` holds the replica grouping; ``heal`` clears.
     * ``leader`` — ``pids`` holds the new leader (manual elector flip);
       a non-empty ``scope`` limits the view change to those replicas
-      (the partitioned-away rest keeps its old view).
+      (the partitioned-away rest keeps its old view). On a sharded
+      cluster ``rgroup`` names the replication group whose leadership
+      moves (``None`` means group 0, the only group when unsharded).
     * ``loss_burst`` / ``dup_burst`` — ``value`` is the probability,
       ``duration`` the burst length.
     * ``latency_spike`` — ``value`` is the extra one-way latency in seconds.
@@ -79,6 +81,8 @@ class NemesisEvent:
     value: float = 0.0
     duration: float = 0.0
     scope: tuple[ProcessId, ...] = ()
+    #: Target replication group for ``leader`` events on sharded clusters.
+    rgroup: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -87,7 +91,8 @@ class NemesisEvent:
     def describe(self) -> str:
         if self.kind == "leader":
             where = f" on {','.join(self.scope)}" if self.scope else ""
-            return f"{self.at:.4f}s leader {self.pids[0]}{where}"
+            shard = f" [g{self.rgroup}]" if self.rgroup is not None else ""
+            return f"{self.at:.4f}s leader {self.pids[0]}{where}{shard}"
         if self.kind in ("crash", "recover"):
             return f"{self.at:.4f}s {self.kind} {self.pids[0]}"
         if self.kind == "partition":
@@ -126,10 +131,13 @@ class NemesisEvent:
             out["duration"] = self.duration
         if self.scope:
             out["scope"] = list(self.scope)
+        if self.rgroup is not None:
+            out["rgroup"] = self.rgroup
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "NemesisEvent":
+        rgroup = data.get("rgroup")
         return cls(
             at=float(data["at"]),
             kind=str(data["kind"]),
@@ -138,6 +146,7 @@ class NemesisEvent:
             value=float(data.get("value", 0.0)),
             duration=float(data.get("duration", 0.0)),
             scope=tuple(data.get("scope", ())),
+            rgroup=None if rgroup is None else int(rgroup),
         )
 
 
@@ -169,7 +178,8 @@ class NemesisSchedule:
                 fs.heal(at=event.at)
             elif event.kind == "leader":
                 fs.switch_leader(
-                    event.pids[0], at=event.at, pids=event.scope or None
+                    event.pids[0], at=event.at, pids=event.scope or None,
+                    group=event.rgroup or 0,
                 )
             elif event.kind == "loss_burst":
                 fs.loss_burst(event.value, at=event.at, duration=event.duration)
@@ -240,8 +250,10 @@ class NemesisSchedule:
                 lines.append(f"schedule.heal(at={event.at})")
             elif event.kind == "leader":
                 scope = f", pids={list(event.scope)!r}" if event.scope else ""
+                shard = f", group={event.rgroup}" if event.rgroup else ""
                 lines.append(
-                    f"schedule.switch_leader({event.pids[0]!r}, at={event.at}{scope})"
+                    f"schedule.switch_leader({event.pids[0]!r}, "
+                    f"at={event.at}{scope}{shard})"
                 )
             elif event.kind == "loss_burst":
                 lines.append(
@@ -278,6 +290,35 @@ class NemesisSchedule:
                     f"fraction={event.value})"
                 )
         return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ sharding
+def assign_groups(schedule: NemesisSchedule, n_groups: int) -> NemesisSchedule:
+    """Retarget a generated schedule's leader switches at replication groups.
+
+    Crashes, partitions and storage faults hit whole processes and need no
+    retargeting — one power cut takes out a process's replica of *every*
+    group. Leader switches are the one per-group fault: each mid-run switch
+    is assigned a group round-robin (so every shard's leadership gets
+    exercised, including single-group-leader crashes while the other groups
+    keep serving), and the final stabilization switch is fanned out into
+    one switch per group so that after the last heal *every* shard has an
+    alive leader — otherwise the liveness check could starve a group whose
+    round-robin turn never came.
+    """
+    if n_groups <= 1:
+        return schedule
+    events = list(schedule.events)
+    leader_indexes = [i for i, e in enumerate(events) if e.kind == "leader"]
+    if not leader_indexes:
+        return schedule
+    for turn, index in enumerate(leader_indexes[:-1]):
+        events[index] = replace(events[index], rgroup=turn % n_groups)
+    final = leader_indexes[-1]
+    events[final : final + 1] = [
+        replace(events[final], rgroup=group) for group in range(n_groups)
+    ]
+    return schedule.with_events(events)
 
 
 # ---------------------------------------------------------------- generation

@@ -219,7 +219,13 @@ def build_experiments_report(quick: bool = False, workers: int = 1) -> str:
 
 def run_command(args: argparse.Namespace) -> int:
     """One instrumented run: print the result summary, optionally export the
-    JSONL timeline for ``repro report``."""
+    JSONL timeline for ``repro report``.
+
+    ``--groups N`` builds a sharded cluster: clients work a spread of KV
+    keys (instead of the noop service's keyless ops, which would all land
+    on group 0) so every replication group coordinates a slice of the
+    traffic and the per-group report tables have something to show.
+    """
     from repro.client.workload import single_kind_steps
     from repro.cluster.harness import Cluster, ClusterSpec
     from repro.cluster.metrics import collect
@@ -235,9 +241,25 @@ def run_command(args: argparse.Namespace) -> int:
         tracing=args.tracing or bool(args.chrome),
         profiling=args.profiling,
         fsync=args.fsync,
+        groups=args.groups,
     )
-    steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
-    cluster = Cluster(spec, steps)
+    if args.groups > 1:
+        from repro.services.kvstore import KVStoreService
+
+        def op(index: int):
+            key = f"k{index % (4 * args.groups)}"
+            if kind is RequestKind.READ:
+                return ("get", key)
+            return ("put", key, f"v{index}")
+
+        steps = [
+            single_kind_steps(kind, per_client, op=op)
+            for _ in range(args.clients)
+        ]
+        cluster = Cluster(spec, steps, service_factory=KVStoreService)
+    else:
+        steps = [single_kind_steps(kind, per_client) for _ in range(args.clients)]
+        cluster = Cluster(spec, steps)
     cluster.run()
     print(collect(cluster).describe())
     if args.export:
@@ -353,6 +375,7 @@ def chaos_command(args: argparse.Namespace) -> int:
         mutation=args.mutation,
         fsync=args.fsync,
         storage_faults=args.storage_faults,
+        groups=args.groups,
     )
     workers = args.workers
     if workers > 1 and args.tracing:
@@ -691,6 +714,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     run.add_argument("--clients", type=int, default=1,
                      help="closed-loop client count (default: 1)")
     run.add_argument("--seed", type=int, default=0, help="simulation seed")
+    run.add_argument("--groups", type=int, default=1,
+                     help="replication groups per process (keyspace shards; "
+                          ">1 switches to a keyed KV workload, default: 1)")
     run.add_argument("--fsync", default="async", choices=("sync", "group", "async"),
                      help="stable-storage durability mode: fsync per barrier, "
                           "group commit, or legacy write-through (default: async)")
@@ -818,6 +844,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="protocol under test (default: basic)")
     chaos.add_argument("--replicas", type=int, default=3,
                        help="replica count (default: 3)")
+    chaos.add_argument("--groups", type=int, default=1,
+                       help="replication groups per process (keyspace "
+                            "shards; invariants run per group, default: 1)")
     chaos.add_argument("--clients", type=int, default=2,
                        help="client count (default: 2)")
     chaos.add_argument("--requests", type=int, default=12,

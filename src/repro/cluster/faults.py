@@ -95,6 +95,7 @@ class FaultSchedule:
         new_leader: ProcessId,
         at: float,
         pids: Iterable[ProcessId] | None = None,
+        group: int = 0,
     ) -> "FaultSchedule":
         """Instantaneous view change (manual elector only).
 
@@ -102,7 +103,9 @@ class FaultSchedule:
         election. ``pids`` restricts the flip to a subset: during a
         partition, only the side that can run an election learns the new
         leader, while the cut-off minority keeps believing in the old one
-        (the split-brain shape nemesis schedules probe for).
+        (the split-brain shape nemesis schedules probe for). On a sharded
+        cluster ``group`` picks which replication group's leadership
+        moves; the other groups keep their leaders.
         """
         self._validate_time(at, f"switch leader -> {new_leader}")
         self._validate_pid(new_leader, "switch_leader")
@@ -110,12 +113,15 @@ class FaultSchedule:
         if scope is not None:
             for pid in scope:
                 self._validate_pid(pid, "switch_leader scope")
-        group = self.cluster.manual_electors
-        if group is None:
+        if self.cluster.manual_electors is None:
             raise ConfigError("switch_leader requires the 'manual' elector")
-        self.cluster.kernel.schedule_at(at, self._apply_switch, group, new_leader, scope)
+        electors = self.cluster.manual_electors_for(group)
+        self.cluster.kernel.schedule_at(
+            at, self._apply_switch, electors, new_leader, scope
+        )
         where = "" if scope is None else f" on {','.join(scope)}"
-        self.applied.append((at, f"switch leader -> {new_leader}{where}"))
+        shard = "" if group == 0 else f" [g{group}]"
+        self.applied.append((at, f"switch leader -> {new_leader}{where}{shard}"))
         return self
 
     def _apply_switch(self, group, new_leader: ProcessId, scope) -> None:

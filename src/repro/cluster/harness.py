@@ -28,6 +28,7 @@ from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 from repro.services.base import Service
 from repro.services.noop import NoopService
+from repro.shard.host import GroupHost
 from repro.sim.kernel import Kernel
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
@@ -73,6 +74,13 @@ class ClusterSpec:
     profile: NetworkProfile
     n_replicas: int = 3
     seed: int = 0
+    #: Replication groups (shards) per process. 1 builds the classic
+    #: standalone :class:`~repro.core.replica.Replica` processes —
+    #: byte-identical to the unsharded simulator. >1 builds
+    #: :class:`~repro.shard.host.GroupHost` processes, each hosting one
+    #: replica of every group on a shared storage pump, with group ``g``'s
+    #: initial leader at replica ``g % n_replicas``.
+    groups: int = 1
     state_mode: StateTransferMode = StateTransferMode.FULL
     xpaxos_reads: bool = True
     tpaxos: bool = True
@@ -132,6 +140,8 @@ class ClusterSpec:
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
             raise ConfigError("need at least one replica")
+        if self.groups < 1:
+            raise ConfigError("need at least one replication group")
         if self.elector not in ("static", "manual", "omega"):
             raise ConfigError(f"unknown elector kind {self.elector!r}")
         if self.fsync not in ("sync", "group", "async"):
@@ -213,32 +223,66 @@ class Cluster:
         )
         self.config = config
 
+        #: Initial leader of each group, spread round-robin over replicas
+        #: so sharding actually distributes leader work.
+        self.group_leader_pids = tuple(
+            self.replica_pids[g % spec.n_replicas] for g in range(spec.groups)
+        )
         self.manual_electors: ManualElectorGroup | None = None
+        self.manual_electors_by_group: dict[int, ManualElectorGroup] = {}
         if spec.elector == "manual":
-            self.manual_electors = ManualElectorGroup(self.leader_pid)
+            for g in range(spec.groups):
+                self.manual_electors_by_group[g] = ManualElectorGroup(
+                    self.group_leader_pids[g]
+                )
+            self.manual_electors = self.manual_electors_by_group[0]
 
         replica_cpu = profile.replica_cpu
         if spec.connection_scaling:
             replica_cpu = profile.replica_cpu_for(n_clients)
 
-        self.replicas: dict[ProcessId, Replica] = {}
-        for pid in self.replica_pids:
-            if spec.elector == "static":
-                elector = StaticElector(self.leader_pid)
-            elif spec.elector == "manual":
-                assert self.manual_electors is not None
-                elector = self.manual_electors.elector_for(pid)
-            else:
-                elector = OmegaElector(
-                    heartbeat_interval=spec.omega_heartbeat,
-                    suspect_timeout=spec.omega_timeout,
-                )
-            replica = Replica(pid, config, service_factory, elector)
-            replica.metrics = self.metrics.scope(pid)
-            replica.tracer = self.tracer
-            replica.profiler = self.profiler
-            self.world.add(replica, cpu=replica_cpu)
-            self.replicas[pid] = replica
+        self.replicas: dict[ProcessId, Replica | GroupHost] = {}
+        if spec.groups == 1:
+            for pid in self.replica_pids:
+                if spec.elector == "static":
+                    elector = StaticElector(self.leader_pid)
+                elif spec.elector == "manual":
+                    assert self.manual_electors is not None
+                    elector = self.manual_electors.elector_for(pid)
+                else:
+                    elector = OmegaElector(
+                        heartbeat_interval=spec.omega_heartbeat,
+                        suspect_timeout=spec.omega_timeout,
+                    )
+                replica = Replica(pid, config, service_factory, elector)
+                replica.metrics = self.metrics.scope(pid)
+                replica.tracer = self.tracer
+                replica.profiler = self.profiler
+                self.world.add(replica, cpu=replica_cpu)
+                self.replicas[pid] = replica
+        else:
+            for pid in self.replica_pids:
+                electors: dict[int, object] = {}
+                for g in range(spec.groups):
+                    if spec.elector == "static":
+                        electors[g] = StaticElector(self.group_leader_pids[g])
+                    elif spec.elector == "manual":
+                        electors[g] = self.manual_electors_by_group[g].elector_for(pid)
+                    else:
+                        electors[g] = OmegaElector(
+                            heartbeat_interval=spec.omega_heartbeat,
+                            suspect_timeout=spec.omega_timeout,
+                        )
+                host = GroupHost(pid, config, service_factory, electors)
+                host.metrics = self.metrics.scope(pid)
+                host.tracer = self.tracer
+                host.profiler = self.profiler
+                for g, group in host.groups.items():
+                    group.metrics = self.metrics.scope(f"{pid}.g{g}")
+                    group.tracer = self.tracer
+                    group.profiler = self.profiler
+                self.world.add(host, cpu=replica_cpu)
+                self.replicas[pid] = host
 
         self.clients: list[Client] = []
         for pid, steps in zip(self.client_pids, client_steps, strict=True):
@@ -271,8 +315,14 @@ class Cluster:
         configuration, where the leader ran at UIUC)."""
         return self.replica_pids[0]
 
-    def leader(self) -> Replica:
+    def leader(self) -> "Replica | GroupHost":
         return self.replicas[self.leader_pid]
+
+    def manual_electors_for(self, group: int) -> ManualElectorGroup:
+        """Group ``group``'s manual-elector group (manual elector only)."""
+        if not self.manual_electors_by_group:
+            raise ConfigError("manual_electors_for requires the 'manual' elector")
+        return self.manual_electors_by_group[group]
 
     @property
     def all_done(self) -> bool:
@@ -307,12 +357,21 @@ class Cluster:
         Note: backups converge to the leader's state as of their applied
         frontier; immediately after a run every committed instance has been
         broadcast, so after the pipeline drains these should be equal.
+        Sharded clusters report one fingerprint per hosted group, keyed
+        ``pid/g<group>``.
         """
-        return {
-            pid: r.service.state_fingerprint()
-            for pid, r in self.replicas.items()
-            if r.alive
-        }
+        out: dict[ProcessId, object] = {}
+        for pid, r in self.replicas.items():
+            if not r.alive:
+                continue
+            if isinstance(r, GroupHost):
+                for g in sorted(r.groups):
+                    group = r.groups[g]
+                    if group.alive:
+                        out[f"{pid}/g{g}"] = group.service.state_fingerprint()
+            else:
+                out[pid] = r.service.state_fingerprint()
+        return out
 
     def drain(self, grace: float = 2.0) -> "Cluster":
         """Run a little longer so Chosen broadcasts reach every backup."""

@@ -26,7 +26,7 @@ from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.requests import ClientRequest, RequestId
 from repro.core.state import StatePayload
 from repro.util.fastpickle import fast_pickle
-from repro.types import InstanceId, ProcessId, ReplyStatus
+from repro.types import GroupId, InstanceId, ProcessId, ReplyStatus
 
 
 # ------------------------------------------------------------------ proposals
@@ -199,6 +199,24 @@ class StartSignal:
     start signal to all clients simultaneously)."""
 
     run_id: str = ""
+
+
+# --------------------------------------------------------------------- groups
+@fast_pickle
+@dataclass(frozen=True, slots=True)
+class GroupEnvelope:
+    """Wire wrapper tagging a protocol message with its replication group.
+
+    Only used between processes of a sharded (``groups > 1``) cluster: each
+    hosted :class:`repro.core.group.ReplicationGroup` wraps its peer-bound
+    traffic so the receiving host can dispatch to the right group. Replies
+    to clients travel unwrapped, and single-group clusters never construct
+    envelopes at all — their wire traffic is byte-identical to the
+    pre-sharding stack.
+    """
+
+    group: GroupId
+    msg: Any
 
 
 # ------------------------------------------------------------------- catch-up

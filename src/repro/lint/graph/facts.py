@@ -24,7 +24,7 @@ from repro.lint.rules.determinism import AMBIENT_CALLS, AMBIENT_PREFIXES
 
 #: Bump when the extraction below changes shape or semantics: a version
 #: mismatch invalidates every cached entry at once.
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 
 #: Handler naming convention (mirrors the MSG002 rule).
 HANDLER_RE = re.compile(r"^_?(on|handle)_")
@@ -175,6 +175,10 @@ class ClassFacts:
     is_dataclass: bool = False
     frozen: bool = False
     is_message: bool = False
+    #: Declarative handler registries: class-body dict literals mapping
+    #: message classes to handler method names, as (resolved class,
+    #: method name) pairs — e.g. ``DISPATCH = {Prepare: "_on_prepare"}``.
+    dispatch: tuple[tuple[str, str], ...] = ()
 
     def to_json(self) -> dict:
         return {
@@ -188,6 +192,7 @@ class ClassFacts:
             "is_dataclass": self.is_dataclass,
             "frozen": self.frozen,
             "is_message": self.is_message,
+            "dispatch": [list(d) for d in self.dispatch],
         }
 
     @classmethod
@@ -203,6 +208,7 @@ class ClassFacts:
             is_dataclass=raw["is_dataclass"],
             frozen=raw["frozen"],
             is_message=raw["is_message"],
+            dispatch=tuple((d[0], d[1]) for d in raw["dispatch"]),
         )
 
 
@@ -457,6 +463,30 @@ def _extract_function(
     )
 
 
+def _dispatch_entries(ctx: FileContext, value: ast.expr) -> list[tuple[str, str]]:
+    """Entries of a class-body handler registry, or ``[]``.
+
+    A registry is a dict literal whose keys resolve to class names and
+    whose values are string constants naming methods — the declarative
+    replacement for an ``isinstance`` dispatch chain. Mixed or non-literal
+    dicts yield nothing: partial extraction would make MSG102 claim a
+    handler exists for a type the table never routes.
+    """
+    if not isinstance(value, ast.Dict):
+        return []
+    entries: list[tuple[str, str]] = []
+    for key, val in zip(value.keys, value.values):
+        if key is None:  # ``**spread`` — not a statically known table
+            return []
+        if not (isinstance(val, ast.Constant) and isinstance(val.value, str)):
+            return []
+        resolved = ctx.resolve(key)
+        if resolved is None:
+            return []
+        entries.append((resolved, val.value))
+    return entries
+
+
 def _extract_class(ctx: FileContext, node: ast.ClassDef) -> ClassFacts:
     decorator = _dataclass_decorator(node)
     frozen = False
@@ -477,6 +507,7 @@ def _extract_class(ctx: FileContext, node: ast.ClassDef) -> ClassFacts:
     properties: list[str] = []
     fields: list[str] = []
     attr_types: dict[str, str] = {}
+    dispatch: list[tuple[str, str]] = []
     for item in node.body:
         if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
             if "property" in _decorator_names(item) or "cached_property" in _decorator_names(item):
@@ -499,10 +530,13 @@ def _extract_class(ctx: FileContext, node: ast.ClassDef) -> ClassFacts:
                             attr_types[target.attr] = ctor
         elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
             fields.append(item.target.id)
+            if item.value is not None:
+                dispatch.extend(_dispatch_entries(ctx, item.value))
         elif isinstance(item, ast.Assign):
             for target in item.targets:
                 if isinstance(target, ast.Name):
                     fields.append(target.id)
+            dispatch.extend(_dispatch_entries(ctx, item.value))
     return ClassFacts(
         name=node.name,
         line=node.lineno,
@@ -514,6 +548,7 @@ def _extract_class(ctx: FileContext, node: ast.ClassDef) -> ClassFacts:
         is_dataclass=decorator is not None,
         frozen=frozen,
         is_message=decorator is not None and _is_message_class(ctx, node),
+        dispatch=tuple(dispatch),
     )
 
 
@@ -566,6 +601,10 @@ def _qualify_facts(facts: FileFacts, local: frozenset[str]) -> None:
         cls_facts.attr_types = tuple(
             (attr, _qualify(ctor, module, local))
             for attr, ctor in cls_facts.attr_types
+        )
+        cls_facts.dispatch = tuple(
+            (_qualify(msg, module, local), method)
+            for msg, method in cls_facts.dispatch
         )
 
 

@@ -70,15 +70,34 @@ def _schema(index: ProjectIndex, dotted: str) -> frozenset[str] | None:
     return frozenset(names) if found else None
 
 
+def _resolve_message(index: ProjectIndex, dotted: str | None) -> str | None:
+    """Resolve a name to an indexed message class, or None.
+
+    Falls back to matching a bare (dotless) name against the message
+    vocabulary when the import table cannot resolve it — under
+    ``from __future__ import annotations`` a handler's parameter
+    annotation parses fine without the import, and message class names
+    are unique, so an unambiguous basename match is safe.
+    """
+    messages = index.message_classes()
+    resolved = index.resolve_symbol(dotted)
+    if resolved is not None:
+        return resolved if resolved in messages else None
+    if dotted and "." not in dotted:
+        matches = [m for m in messages if m.rpartition(".")[2] == dotted]
+        if len(matches) == 1:
+            return matches[0]
+    return None
+
+
 def _message_param_types(
     index: ProjectIndex, params: tuple[tuple[str, str | None], ...]
 ) -> dict[str, str]:
     """Param name -> dotted message class, for annotated message params."""
     out: dict[str, str] = {}
-    messages = index.message_classes()
     for name, annotation in params:
-        resolved = index.resolve_symbol(annotation)
-        if resolved is not None and resolved in messages:
+        resolved = _resolve_message(index, annotation)
+        if resolved is not None:
             out[name] = resolved
     return out
 
@@ -226,8 +245,10 @@ class BarrierDominance(ProjectRule):
 def _handled_types(index: ProjectIndex) -> dict[str, list[tuple[str, int, str]]]:
     """Message class -> [(rel, line, handler qualname)] dispatching it.
 
-    A type counts as handled when a handler either isinstance-dispatches
-    it or declares it as a parameter annotation.
+    A type counts as handled when a handler isinstance-dispatches it,
+    declares it as a parameter annotation, or a class-body dispatch
+    registry (``DISPATCH = {Prepare: "_on_prepare", ...}``) routes it to
+    a named method.
     """
     out: dict[str, list[tuple[str, int, str]]] = {}
     for module in sorted(index.modules):
@@ -245,6 +266,16 @@ def _handled_types(index: ProjectIndex) -> dict[str, list[tuple[str, int, str]]]
                 )
             for resolved in dict.fromkeys(dispatched):
                 out.setdefault(resolved, []).append((facts.rel, fn.line, qualname))
+        for cls_name in sorted(facts.classes):
+            cls_facts = facts.classes[cls_name]
+            for msg, method in cls_facts.dispatch:
+                resolved = _resolve_message(index, msg)
+                if resolved is None:
+                    continue
+                handler = f"{cls_name}.{method}"
+                target = facts.functions.get(handler)
+                line = target.line if target is not None else cls_facts.line
+                out.setdefault(resolved, []).append((facts.rel, line, handler))
     return out
 
 

@@ -58,7 +58,11 @@ def message_table(export: RunExport) -> str:
 
 
 def per_replica_table(export: RunExport) -> str:
-    """Messages sent per process per type (`proc.<pid>.send.<Type>`)."""
+    """Messages sent per process per type (`proc.<pid>.send.<Type>`).
+
+    Sharded runs scope each replication group's counters under
+    ``proc.<pid>.g<N>.…``; those rows are labeled ``<pid>/g<N>`` so the
+    table breaks traffic down per group, not just per process."""
     cells: dict[tuple[str, str], int] = {}
     pids: set[str] = set()
     types: set[str] = set()
@@ -66,9 +70,17 @@ def per_replica_table(export: RunExport) -> str:
         if not name.startswith("proc."):
             continue
         parts = name.split(".")
-        if len(parts) != 4 or parts[2] != "send":
+        if len(parts) == 4 and parts[2] == "send":
+            pid, type_name = parts[1], parts[3]
+        elif (
+            len(parts) == 5
+            and parts[3] == "send"
+            and parts[2].startswith("g")
+            and parts[2][1:].isdigit()
+        ):
+            pid, type_name = f"{parts[1]}/{parts[2]}", parts[4]
+        else:
             continue
-        _proc, pid, _send, type_name = parts
         cells[(pid, type_name)] = value
         pids.add(pid)
         types.add(type_name)

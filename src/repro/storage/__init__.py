@@ -6,7 +6,7 @@ machine, and :mod:`repro.storage.wal` for the CRC record framing.
 """
 
 from repro.storage.device import CheckpointBlob, Frame, ReplayResult, SimDisk
-from repro.storage.store import RecoveredState, StableStore
+from repro.storage.store import RecoveredState, StableStore, StoragePump
 from repro.storage.wal import RECORD_KINDS, WalRecord, decode_frames, encode_frame
 
 FSYNC_MODES = ("sync", "group", "async")
@@ -20,6 +20,7 @@ __all__ = [
     "ReplayResult",
     "SimDisk",
     "StableStore",
+    "StoragePump",
     "WalRecord",
     "decode_frames",
     "encode_frame",

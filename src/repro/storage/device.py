@@ -47,7 +47,8 @@ class CheckpointBlob:
     Carrying the service/executed snapshots *inside* the blob is what
     makes checkpoint install crash-atomic: there is no ordering hazard
     between a WAL marker and a separate state file, because there is no
-    separate state file.
+    separate state file. ``group`` names the replication group the blob
+    belongs to when several groups share the device.
     """
 
     instance: int
@@ -55,6 +56,7 @@ class CheckpointBlob:
     executed_snap: dict[str, Any]
     rids: frozenset[str]
     seq: int
+    group: int = 0
 
 
 @dataclass(slots=True)
@@ -70,27 +72,46 @@ class Frame:
 
 @dataclass
 class ReplayResult:
-    checkpoint: CheckpointBlob | None
+    checkpoints: dict[int, CheckpointBlob]
     records: list[WalRecord]
     truncated: int  # torn-tail frames dropped
     status: str  # "ok" | "poisoned" | "corrupt"
 
+    @property
+    def checkpoint(self) -> CheckpointBlob | None:
+        """The single-group view: group 0's checkpoint (or None)."""
+        return self.checkpoints.get(0)
+
 
 @dataclass
 class SimDisk:
-    """Pure durable state; survives :meth:`crash` by design."""
+    """Pure durable state; survives :meth:`crash` by design.
+
+    Checkpoints are keyed by replication group: a sharded process stores
+    every hosted group's blobs on the one device. Single-group code sees
+    the same surface as before through the ``checkpoint`` /
+    ``pending_checkpoint`` properties (group 0).
+    """
 
     write_through: bool = False
     durable: list[Frame] = field(default_factory=list)
     cache: list[Frame] = field(default_factory=list)
-    checkpoint: CheckpointBlob | None = None
-    pending_checkpoint: CheckpointBlob | None = None
+    checkpoints: dict[int, CheckpointBlob] = field(default_factory=dict)
+    pending_checkpoints: dict[int, CheckpointBlob] = field(default_factory=dict)
     poisoned: bool = False
     torn_armed: bool = False
     _seq: int = 0
     appends: int = 0
     fsyncs: int = 0
     crashes: int = 0
+
+    @property
+    def checkpoint(self) -> CheckpointBlob | None:
+        return self.checkpoints.get(0)
+
+    @property
+    def pending_checkpoint(self) -> CheckpointBlob | None:
+        return self.pending_checkpoints.get(0)
 
     # -- appends ----------------------------------------------------------
 
@@ -115,7 +136,7 @@ class SimDisk:
         if self.write_through:
             self._install_checkpoint(blob)
         else:
-            self.pending_checkpoint = blob
+            self.pending_checkpoints[blob.group] = blob
 
     @property
     def last_seq(self) -> int:
@@ -142,34 +163,38 @@ class SimDisk:
             return len(covered)
         self.cache = [f for f in self.cache if f.seq > upto_seq]
         self.durable.extend(covered)
-        pending = self.pending_checkpoint
-        if pending is not None and pending.seq <= upto_seq:
-            self.pending_checkpoint = None
-            self._install_checkpoint(pending)
+        for group in sorted(self.pending_checkpoints):
+            pending = self.pending_checkpoints[group]
+            if pending.seq <= upto_seq:
+                del self.pending_checkpoints[group]
+                self._install_checkpoint(pending)
         return len(covered)
 
     def _install_checkpoint(self, blob: CheckpointBlob) -> None:
-        self.checkpoint = blob
-        # WAL truncation: snapshot subsumes accepts/chooses at or below
-        # its instance. Keep only the latest promise and round records —
-        # earlier ones are superseded, and Paxos only needs the maximum.
+        self.checkpoints[blob.group] = blob
+        # WAL truncation: each group's snapshot subsumes that group's
+        # accepts/chooses at or below its instance. Keep only the latest
+        # promise and round records per group — earlier ones are
+        # superseded, and Paxos only needs the maximum.
         kept: list[Frame] = []
-        last_promise: Frame | None = None
-        last_round: Frame | None = None
+        last_promise: dict[int, Frame] = {}
+        last_round: dict[int, Frame] = {}
         for frame in self.durable:
-            kind = frame.record.kind
+            record = frame.record
+            kind = record.kind
             if kind == "promise":
-                last_promise = frame
+                last_promise[record.group] = frame
             elif kind == "round":
-                last_round = frame
+                last_round[record.group] = frame
             else:
                 # accept payloads lead with a ProposalNumber, choose
                 # payloads with a bare instance id.
-                head = frame.record.payload[0]
+                head = record.payload[0]
                 instance = head.instance if kind == "accept" else head
-                if instance > blob.instance:
+                covering = self.checkpoints.get(record.group)
+                if covering is None or instance > covering.instance:
                     kept.append(frame)
-        head = [f for f in (last_promise, last_round) if f is not None]
+        head = list(last_promise.values()) + list(last_round.values())
         head.sort(key=lambda f: f.seq)
         self.durable = head + kept
 
@@ -187,9 +212,9 @@ class SimDisk:
         self.crashes += 1
         if any(f.acked for f in self.cache):
             self.poisoned = True
-        # Losing a staged-but-unsynced checkpoint is the normal crash
+        # Losing staged-but-unsynced checkpoints is the normal crash
         # contract; a *lied-about* one poisons via its covered frames.
-        self.pending_checkpoint = None
+        self.pending_checkpoints = {}
         if self.torn_armed and self.cache:
             torn = self.cache[0]
             torn.status = "torn"
@@ -234,7 +259,7 @@ class SimDisk:
         record before the tail, or a poisoned device, is fail-stop.
         """
         if self.poisoned:
-            return ReplayResult(self.checkpoint, [], 0, "poisoned")
+            return ReplayResult(dict(self.checkpoints), [], 0, "poisoned")
         records: list[WalRecord] = []
         truncated = 0
         for i, frame in enumerate(self.durable):
@@ -250,6 +275,6 @@ class SimDisk:
             if frame.status == "torn" and i == len(self.durable) - 1:
                 truncated = 1
                 self.durable = self.durable[:i]
-                return ReplayResult(self.checkpoint, records, truncated, "ok")
-            return ReplayResult(self.checkpoint, [], 0, "corrupt")
-        return ReplayResult(self.checkpoint, records, truncated, "ok")
+                return ReplayResult(dict(self.checkpoints), records, truncated, "ok")
+            return ReplayResult(dict(self.checkpoints), [], 0, "corrupt")
+        return ReplayResult(dict(self.checkpoints), records, truncated, "ok")

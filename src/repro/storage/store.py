@@ -3,10 +3,14 @@
 :class:`StableStore` is the single gateway for every stable-state
 mutation a replica makes (lint rule ``PROTO002`` enforces this): accepted
 proposals, chosen values, the promised ballot, the highest observed
-round, checkpoints, and snapshot installs. It owns both the volatile
-:class:`repro.core.log.ReplicaLog` (the working view) and the
-:class:`repro.storage.device.SimDisk` (the bytes that survive a crash),
-and keeps them consistent.
+round, checkpoints, and snapshot installs. It owns the volatile
+:class:`repro.core.log.ReplicaLog` (the working view) for one replication
+group, and writes through a :class:`StoragePump` — the per-*process*
+durability substrate: one :class:`repro.storage.device.SimDisk`, one
+fsync pump, one crash/replay cycle. A standalone replica creates its own
+pump; a sharded process (:class:`repro.shard.host.GroupHost`) hands every
+hosted group's store the same pump, so all groups share one WAL, one
+group-commit clock, and one crash.
 
 Three fsync modes (``ReplicaConfig.fsync_mode``):
 
@@ -24,16 +28,21 @@ AcceptedBatch, counting the leader's own acceptance toward a quorum).
 The callback fires once every record appended so far is durable, in its
 caller's trace context. Only one fsync is in flight at a time; an fsync
 begun at append-sequence *s* covers exactly the records with seq <= s.
+The sequence numbers are device-wide, so one fsync settles barriers of
+every group sharing the pump.
 
-Crash/restart: :meth:`crash` drops in-flight fsyncs and waiters (the
-device applies power-loss semantics itself); :meth:`recover` replays the
-durable checkpoint + WAL tail into a fresh log, truncating a torn tail.
-It returns ``None`` when the device is not trustworthy (a lying fsync
-poisoned it, or a synced record rotted) — the replica must then
-**fail-stop** rather than rejoin: re-entering the protocol after
-forgetting a promise or an acceptance is Byzantine, not crash-faulty,
-and would let Paxos choose two values for one instance. Real systems
-panic on checksum mismatch for the same reason.
+Crash/restart: :meth:`StoragePump.crash` drops in-flight fsyncs and
+waiters (the device applies power-loss semantics itself) and is
+idempotent until the next recovery, so each group's ``on_crash`` may
+safely delegate to it. :meth:`StableStore.recover` replays the durable
+checkpoint + WAL tail into a fresh log; the device replay happens once
+per process restart (cached on the pump) and each group consumes its own
+records and checkpoint from it. It returns ``None`` when the device is
+not trustworthy (a lying fsync poisoned it, or a synced record rotted) —
+the replica must then **fail-stop** rather than rejoin: re-entering the
+protocol after forgetting a promise or an acceptance is Byzantine, not
+crash-faulty, and would let Paxos choose two values for one instance.
+Because the device is shared, refusal halts every group on the process.
 """
 
 from __future__ import annotations
@@ -44,12 +53,12 @@ from typing import TYPE_CHECKING, Any
 from repro.core.ballot import Ballot, ProposalNumber
 from repro.core.log import ReplicaLog
 from repro.core.messages import Proposal
-from repro.storage.device import CheckpointBlob, SimDisk
+from repro.storage.device import CheckpointBlob, ReplayResult, SimDisk
 from repro.storage.wal import WalRecord
-from repro.types import InstanceId
+from repro.types import GroupId, InstanceId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.replica import Replica
+    from repro.core.group import ReplicationGroup
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,22 +72,22 @@ class RecoveredState:
     truncated_tail: int
 
 
-class StableStore:
-    """Stable storage for one replica: WAL + checkpoints + fsync model."""
+class StoragePump:
+    """Per-process durable substrate: one device, one fsync pump.
 
-    def __init__(self, host: "Replica") -> None:
+    ``host`` is the world-registered process (the replica itself for a
+    standalone store, the :class:`~repro.shard.host.GroupHost` for a
+    sharded one): its timers die with the process epoch, its config sets
+    the fsync mode and latencies, and its tracer/profiler account the
+    modeled device time.
+    """
+
+    def __init__(self, host: Any) -> None:
         self.host = host
         config = host.config
         self.mode = config.fsync_mode
         self.write_through = self.mode == "async"
         self.device = SimDisk(write_through=self.write_through)
-        self.log = ReplicaLog()
-        #: The latest checkpoint as the replica sees it (may be ahead of
-        #: the durable one while its fsync is in flight).
-        self._checkpoint: tuple[InstanceId, Any, dict[str, Any]] = (0, None, {})
-        #: Cumulative rids of every chosen request covered by the current
-        #: checkpoint (only maintained with ``track_commits``).
-        self._checkpoint_rids: frozenset[str] = frozenset()
         #: Barrier callbacks: ``(target_seq, callback, trace_ctx)``.
         self._waiters: list[tuple[int, Any, Any]] = []
         #: Append seq covered by the in-flight fsync (None = none running).
@@ -89,110 +98,10 @@ class StableStore:
         self._lie_until = -1.0
         self._stall_until = -1.0
         self._stall_extra = 0.0
-        #: True once replay refused the device; the replica stays down.
+        #: True once replay refused the device; every group stays down.
         self.halted = False
-
-    def initialize(self, service_snap: Any) -> None:
-        """Record the genesis checkpoint (instance 0, fresh service)."""
-        self._checkpoint = (0, service_snap, {})
-
-    # -------------------------------------------------------------- mutations
-    def accept(self, pn: ProposalNumber, value: Proposal) -> None:
-        self.log.accept(pn, value)
-        self._append(WalRecord("accept", (pn, value)))
-
-    def choose(self, instance: InstanceId, value: Proposal) -> None:
-        self.log.choose(instance, value)
-        self._append(WalRecord("choose", (instance, value)))
-
-    def record_promise(self, ballot: Ballot) -> None:
-        self._append(WalRecord("promise", ballot))
-
-    def record_round(self, round_: int) -> None:
-        self._append(WalRecord("round", round_))
-
-    def _append(self, record: WalRecord) -> None:
-        host = self.host
-        profiler = host.profiler
-        if profiler.enabled:
-            profiler.enter("append")
-        try:
-            self.device.append(record)
-        finally:
-            if profiler.enabled:
-                profiler.exit()
-        if host.metrics.enabled:
-            host.metrics.counter("storage.appends").inc()
-        if not self.write_through:
-            self._ensure_drain()
-
-    # ------------------------------------------------------------ checkpoints
-    @property
-    def checkpoint(self) -> tuple[InstanceId, Any, dict[str, Any]]:
-        return self._checkpoint
-
-    @property
-    def checkpoint_rids(self) -> frozenset[str]:
-        return self._checkpoint_rids
-
-    def write_checkpoint(self, instance: InstanceId) -> None:
-        """Snapshot the host's state at ``instance`` and compact the log.
-
-        The volatile log compacts immediately; the durable WAL keeps its
-        records until the checkpoint blob itself is fsynced (the device
-        truncates atomically at install), so a crash in between replays
-        from the *previous* durable checkpoint without data loss.
-        """
-        host = self.host
-        rids = self.rid_fold(instance)
-        snap = (instance, host.service.snapshot(), host.executed.snapshot())
-        self._checkpoint = snap
-        self._checkpoint_rids = rids
-        blob = CheckpointBlob(instance, snap[1], snap[2], rids, self.device.last_seq)
-        self.log.compact(min(instance, self.log.frontier))
-        self.device.stage_checkpoint(blob)
-        if not self.write_through:
-            self._ensure_drain()
-        if host.metrics.enabled:
-            host.metrics.counter("storage.checkpoints").inc()
-
-    def install_state(
-        self,
-        instance: InstanceId,
-        service_snap: Any,
-        executed_snap: dict[str, Any],
-        rids: frozenset[str] = frozenset(),
-    ) -> None:
-        """Adopt a transferred snapshot at ``instance`` as a checkpoint.
-
-        Same durability contract as :meth:`write_checkpoint`. ``rids`` is
-        the sender's cumulative chosen-request fold (empty when the peer
-        does not track commits); our own fold stays valid — everything it
-        covers is chosen at or below ``instance`` too.
-        """
-        self.log.install_prefix(instance)
-        if self.host.config.track_commits:
-            self._checkpoint_rids = self._checkpoint_rids | rids
-        snap = (instance, service_snap, dict(executed_snap))
-        self._checkpoint = snap
-        blob = CheckpointBlob(
-            instance, service_snap, snap[2], self._checkpoint_rids, self.device.last_seq
-        )
-        self.device.stage_checkpoint(blob)
-        if not self.write_through:
-            self._ensure_drain()
-
-    def rid_fold(self, instance: InstanceId) -> frozenset[str]:
-        """Rids of every chosen request at or below ``instance``: the
-        current checkpoint's fold plus retained chosen entries."""
-        if not self.host.config.track_commits:
-            return frozenset()
-        rids = set(self._checkpoint_rids)
-        for inst, value in self.log.chosen_items():
-            if inst <= instance:
-                for request in value.requests:
-                    rids.add(str(request.rid))
-        return frozenset(rids)
+        self._crashed = False
+        self._replay: ReplayResult | None = None
 
     # ---------------------------------------------------------------- flushing
     @property
@@ -209,7 +118,7 @@ class StableStore:
         if (
             self._fsync_covered is None
             and device.unsynced == 0
-            and device.pending_checkpoint is None
+            and not device.pending_checkpoints
         ):
             callback()
             return
@@ -217,9 +126,9 @@ class StableStore:
         if self.mode == "sync":
             self._start_fsync()
         else:
-            self._ensure_drain()
+            self.ensure_drain()
 
-    def _ensure_drain(self) -> None:
+    def ensure_drain(self) -> None:
         """Arm the group-commit timer unless a drain is already underway."""
         if self._fsync_covered is not None or self._group_timer is not None:
             return
@@ -241,7 +150,7 @@ class StableStore:
         if self.halted or self._fsync_covered is not None:
             return
         device = self.device
-        if device.unsynced == 0 and device.pending_checkpoint is None:
+        if device.unsynced == 0 and not device.pending_checkpoints:
             self._fire_waiters(device.last_seq)
             return
         if self._group_timer is not None:
@@ -281,11 +190,11 @@ class StableStore:
         self._fire_waiters(covered)
         if self._waiters:
             self._start_fsync()
-        elif device.unsynced or device.pending_checkpoint is not None:
+        elif device.unsynced or device.pending_checkpoints:
             if self.mode == "sync":
                 self._start_fsync()
             else:
-                self._ensure_drain()
+                self.ensure_drain()
 
     def _fire_waiters(self, covered: int) -> None:
         if not self._waiters:
@@ -304,12 +213,210 @@ class StableStore:
 
     # ------------------------------------------------------------ crash/replay
     def crash(self) -> None:
-        """Power loss: the device keeps only what was honestly synced."""
+        """Power loss: the device keeps only what was honestly synced.
+
+        Idempotent until the next replay — every group hosted on the
+        process delegates here from ``on_crash``, but the device must
+        apply power-loss semantics exactly once per crash.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._replay = None
         self.device.crash()
         self._waiters = []
         self._fsync_covered = None
         self._fsync_lie = False
         self._group_timer = None  # the epoch bump killed the real timer
+
+    def replay_once(self) -> ReplayResult:
+        """Replay the device once per restart; every group shares the result."""
+        if self._replay is None:
+            self._replay = self.device.replay()
+            self._crashed = False
+            if self._replay.status != "ok":
+                self.halted = True
+        return self._replay
+
+    # --------------------------------------------------------- fault injection
+    def inject_torn_write(self) -> None:
+        self.device.arm_torn_write()
+
+    def inject_lost_fsync(self, duration: float) -> None:
+        self._lie_until = self.host.now + duration
+
+    def inject_disk_stall(self, duration: float, extra: float) -> None:
+        self._stall_until = self.host.now + duration
+        self._stall_extra = extra
+
+    def inject_corruption(self, fraction: float) -> bool:
+        return self.device.corrupt_record(fraction)
+
+    @property
+    def intact(self) -> bool:
+        """No lying fsync ever bit and no synced record rotted."""
+        return not self.halted and self.device.intact
+
+
+class StableStore:
+    """Stable storage for one replication group: WAL view + checkpoints.
+
+    ``pump`` is the per-process substrate; omit it for a standalone
+    replica (the store then creates and owns its own). ``group``
+    namespaces this store's WAL records and checkpoints on the shared
+    device.
+    """
+
+    def __init__(
+        self,
+        host: "ReplicationGroup",
+        pump: StoragePump | None = None,
+        group: GroupId = 0,
+    ) -> None:
+        self.host = host
+        self.group = group
+        self.pump = pump if pump is not None else StoragePump(host)
+        self.mode = self.pump.mode
+        self.write_through = self.pump.write_through
+        self.log = ReplicaLog()
+        #: The latest checkpoint as the replica sees it (may be ahead of
+        #: the durable one while its fsync is in flight).
+        self._checkpoint: tuple[InstanceId, Any, dict[str, Any]] = (0, None, {})
+        #: Cumulative rids of every chosen request covered by the current
+        #: checkpoint (only maintained with ``track_commits``).
+        self._checkpoint_rids: frozenset[str] = frozenset()
+
+    @property
+    def device(self) -> SimDisk:
+        return self.pump.device
+
+    @property
+    def halted(self) -> bool:
+        return self.pump.halted
+
+    def initialize(self, service_snap: Any) -> None:
+        """Record the genesis checkpoint (instance 0, fresh service)."""
+        self._checkpoint = (0, service_snap, {})
+
+    # -------------------------------------------------------------- mutations
+    def accept(self, pn: ProposalNumber, value: Proposal) -> None:
+        self.log.accept(pn, value)
+        self._append(WalRecord("accept", (pn, value), self.group))
+
+    def choose(self, instance: InstanceId, value: Proposal) -> None:
+        self.log.choose(instance, value)
+        self._append(WalRecord("choose", (instance, value), self.group))
+
+    def record_promise(self, ballot: Ballot) -> None:
+        self._append(WalRecord("promise", ballot, self.group))
+
+    def record_round(self, round_: int) -> None:
+        self._append(WalRecord("round", round_, self.group))
+
+    def _append(self, record: WalRecord) -> None:
+        host = self.host
+        profiler = host.profiler
+        if profiler.enabled:
+            profiler.enter("append")
+        try:
+            self.pump.device.append(record)
+        finally:
+            if profiler.enabled:
+                profiler.exit()
+        if host.metrics.enabled:
+            host.metrics.counter("storage.appends").inc()
+        if not self.write_through:
+            self.pump.ensure_drain()
+
+    # ------------------------------------------------------------ checkpoints
+    @property
+    def checkpoint(self) -> tuple[InstanceId, Any, dict[str, Any]]:
+        return self._checkpoint
+
+    @property
+    def checkpoint_rids(self) -> frozenset[str]:
+        return self._checkpoint_rids
+
+    def write_checkpoint(self, instance: InstanceId) -> None:
+        """Snapshot the host's state at ``instance`` and compact the log.
+
+        The volatile log compacts immediately; the durable WAL keeps its
+        records until the checkpoint blob itself is fsynced (the device
+        truncates atomically at install), so a crash in between replays
+        from the *previous* durable checkpoint without data loss.
+        """
+        host = self.host
+        rids = self.rid_fold(instance)
+        snap = (instance, host.service.snapshot(), host.executed.snapshot())
+        self._checkpoint = snap
+        self._checkpoint_rids = rids
+        blob = CheckpointBlob(
+            instance, snap[1], snap[2], rids, self.device.last_seq, self.group
+        )
+        self.log.compact(min(instance, self.log.frontier))
+        self.device.stage_checkpoint(blob)
+        if not self.write_through:
+            self.pump.ensure_drain()
+        if host.metrics.enabled:
+            host.metrics.counter("storage.checkpoints").inc()
+
+    def install_state(
+        self,
+        instance: InstanceId,
+        service_snap: Any,
+        executed_snap: dict[str, Any],
+        rids: frozenset[str] = frozenset(),
+    ) -> None:
+        """Adopt a transferred snapshot at ``instance`` as a checkpoint.
+
+        Same durability contract as :meth:`write_checkpoint`. ``rids`` is
+        the sender's cumulative chosen-request fold (empty when the peer
+        does not track commits); our own fold stays valid — everything it
+        covers is chosen at or below ``instance`` too.
+        """
+        self.log.install_prefix(instance)
+        if self.host.config.track_commits:
+            self._checkpoint_rids = self._checkpoint_rids | rids
+        snap = (instance, service_snap, dict(executed_snap))
+        self._checkpoint = snap
+        blob = CheckpointBlob(
+            instance,
+            service_snap,
+            snap[2],
+            self._checkpoint_rids,
+            self.device.last_seq,
+            self.group,
+        )
+        self.device.stage_checkpoint(blob)
+        if not self.write_through:
+            self.pump.ensure_drain()
+
+    def rid_fold(self, instance: InstanceId) -> frozenset[str]:
+        """Rids of every chosen request at or below ``instance``: the
+        current checkpoint's fold plus retained chosen entries."""
+        if not self.host.config.track_commits:
+            return frozenset()
+        rids = set(self._checkpoint_rids)
+        for inst, value in self.log.chosen_items():
+            if inst <= instance:
+                for request in value.requests:
+                    rids.add(str(request.rid))
+        return frozenset(rids)
+
+    # ---------------------------------------------------------------- flushing
+    @property
+    def needs_barrier(self) -> bool:
+        """Whether durability requires waiting (False in ``async`` mode)."""
+        return self.pump.needs_barrier
+
+    def flush(self, callback: Any) -> None:
+        """Invoke ``callback`` once everything appended so far is durable."""
+        self.pump.flush(callback)
+
+    # ------------------------------------------------------------ crash/replay
+    def crash(self) -> None:
+        """Power loss: the device keeps only what was honestly synced."""
+        self.pump.crash()
 
     def recover(self) -> RecoveredState | None:
         """Replay checkpoint + WAL tail; ``None`` means fail-stop."""
@@ -332,12 +439,11 @@ class StableStore:
         return state
 
     def _recover_inner(self) -> RecoveredState | None:
-        result = self.device.replay()
+        result = self.pump.replay_once()
         if result.status != "ok":
-            self.halted = True
             return None
         log = ReplicaLog()
-        blob = result.checkpoint
+        blob = result.checkpoints.get(self.group)
         if blob is not None:
             log.install_prefix(blob.instance)
             checkpoint = (blob.instance, blob.service_snap, dict(blob.executed_snap))
@@ -349,7 +455,11 @@ class StableStore:
             base = 0
         promised = Ballot.ZERO
         max_round = -1
+        replayed = 0
         for record in result.records:
+            if record.group != self.group:
+                continue
+            replayed += 1
             kind = record.kind
             if kind == "accept":
                 pn, value = record.payload
@@ -371,7 +481,7 @@ class StableStore:
             promised=promised,
             max_round=max_round,
             checkpoint=checkpoint,
-            replayed_records=len(result.records),
+            replayed_records=replayed,
             truncated_tail=result.truncated,
         )
 
@@ -379,10 +489,11 @@ class StableStore:
     @property
     def intact(self) -> bool:
         """No lying fsync ever bit and no synced record rotted."""
-        return not self.halted and self.device.intact
+        return self.pump.intact
 
     def durable_rids(self) -> frozenset[str]:
-        """Rids of client requests provably on the platter *right now*.
+        """Rids of this group's client requests provably on the platter
+        *right now*.
 
         Read-only (unlike :meth:`recover`, this never truncates): walks
         the durable frames the way replay would, unioned with the durable
@@ -393,8 +504,9 @@ class StableStore:
         if device.poisoned:
             return frozenset()
         rids: set[str] = set()
-        if device.checkpoint is not None:
-            rids.update(device.checkpoint.rids)
+        blob = device.checkpoints.get(self.group)
+        if blob is not None:
+            rids.update(blob.rids)
         frames = device.durable
         for i, frame in enumerate(frames):
             if frame.status != "ok":
@@ -402,6 +514,8 @@ class StableStore:
                     break  # replay would truncate here
                 return frozenset()  # replay would refuse this device
             record = frame.record
+            if record.group != self.group:
+                continue
             if record.kind in ("accept", "choose"):
                 for request in record.payload[1].requests:
                     rids.add(str(request.rid))
@@ -409,21 +523,20 @@ class StableStore:
 
     # --------------------------------------------------------- fault injection
     def inject_torn_write(self) -> None:
-        self.device.arm_torn_write()
+        self.pump.inject_torn_write()
 
     def inject_lost_fsync(self, duration: float) -> None:
-        self._lie_until = self.host.now + duration
+        self.pump.inject_lost_fsync(duration)
 
     def inject_disk_stall(self, duration: float, extra: float) -> None:
-        self._stall_until = self.host.now + duration
-        self._stall_extra = extra
+        self.pump.inject_disk_stall(duration, extra)
 
     def inject_corruption(self, fraction: float) -> bool:
-        return self.device.corrupt_record(fraction)
+        return self.pump.inject_corruption(fraction)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<StableStore {self.host.pid} mode={self.mode} "
+            f"<StableStore {self.host.pid}/g{self.group} mode={self.mode} "
             f"durable={len(self.device.durable)} unsynced={self.device.unsynced} "
             f"ckpt={self._checkpoint[0]}>"
         )

@@ -41,13 +41,21 @@ HEADER_SIZE = _HEADER.size
 
 @dataclass(slots=True)
 class WalRecord:
-    """One logical WAL record (payload held by reference, encoded lazily)."""
+    """One logical WAL record (payload held by reference, encoded lazily).
+
+    ``group`` namespaces the record when several replication groups share
+    one device (a sharded process writes every group's records into the
+    same WAL); single-group stores leave it at 0.
+    """
 
     kind: str
     payload: Any
+    group: int = 0
 
     def encode_body(self) -> bytes:
-        return pickle.dumps((self.kind, self.payload), protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(
+            (self.kind, self.payload, self.group), protocol=pickle.HIGHEST_PROTOCOL
+        )
 
 
 def encode_frame(record: WalRecord) -> bytes:
@@ -77,8 +85,10 @@ def decode_frames(data: bytes) -> tuple[list[WalRecord], int, str]:
         if len(body) < length or zlib.crc32(body) != crc:
             bad_at = offset
             break
-        kind, payload = pickle.loads(body)
-        records.append(WalRecord(kind, payload))
+        decoded = pickle.loads(body)
+        kind, payload = decoded[0], decoded[1]
+        group = decoded[2] if len(decoded) > 2 else 0
+        records.append(WalRecord(kind, payload, group))
         offset += HEADER_SIZE + length
     if bad_at is None:
         return records, offset, "ok"

@@ -18,6 +18,11 @@ Time: TypeAlias = float
 #: paper's "the ith request").
 InstanceId: TypeAlias = int
 
+#: Identifier of a replication group (shard). Every process hosts the same
+#: set of groups; group 0 is the only group of an unsharded cluster, so all
+#: single-group code paths read naturally with ``group=0`` defaults.
+GroupId: TypeAlias = int
+
 
 class RequestKind(enum.Enum):
     """Classification of client requests, following §4 of the paper.

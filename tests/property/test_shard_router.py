@@ -1,0 +1,95 @@
+"""Property tests: the shard router is total, deterministic, and a pure
+function of the key bytes (no process identity, no hash seed)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.requests import ClientRequest, RequestId
+from repro.errors import ConfigError
+from repro.shard.router import ShardRouter
+from repro.types import RequestKind
+
+keys = st.text(min_size=0, max_size=40)
+group_counts = st.integers(min_value=1, max_value=16)
+
+
+@given(key=keys, n=group_counts)
+def test_total_and_in_range(key, n):
+    group = ShardRouter(n).group_for_key(key)
+    assert 0 <= group < n
+
+
+@given(key=keys, n=group_counts)
+def test_deterministic_across_instances(key, n):
+    assert ShardRouter(n).group_for_key(key) == ShardRouter(n).group_for_key(key)
+
+
+def test_pid_and_hashseed_independent():
+    """Golden values: crc32 of the key bytes, not anything process-local.
+
+    These constants were computed once and must hold on every host, under
+    every ``PYTHONHASHSEED``, forever — a changed value would mean routers
+    on different processes silently disagree about key ownership."""
+    router = ShardRouter(4)
+    assert router.group_for_key("x") == 3
+    assert router.group_for_key("alpha") == 2
+    assert router.group_for_key("beta") == 3
+    assert router.group_for_key("gamma") == 1
+    assert ShardRouter(2).group_for_key("x") == 1
+    assert ShardRouter(2).group_for_key("alpha") == 0
+
+
+@given(key=keys, n=group_counts, value=st.integers())
+def test_keyed_ops_route_by_key(key, n, value):
+    router = ShardRouter(n)
+    assert router.group_for_op(("put", key, value)) == router.group_for_key(key)
+    assert router.group_for_op(("get", key)) == router.group_for_key(key)
+
+
+@given(n=group_counts)
+def test_keyless_ops_route_to_group_zero(n):
+    router = ShardRouter(n)
+    assert router.group_for_op(("keys",)) == 0
+    assert router.group_for_op(("total",)) == 0
+    assert router.group_for_op(None) == 0
+    assert router.group_for_op("write") == 0
+
+
+@given(key=keys, n=group_counts, seq=st.integers(min_value=1, max_value=99))
+def test_plain_requests_route_by_op(key, n, seq):
+    request = ClientRequest(
+        rid=RequestId("c0", seq), kind=RequestKind.WRITE, op=("put", key, seq)
+    )
+    router = ShardRouter(n)
+    assert router.group_for_request(request) == router.group_for_key(key)
+
+
+@given(key=keys, n=group_counts, attempt=st.integers(min_value=1, max_value=9))
+def test_txn_requests_route_by_txn_id_not_key(key, n, attempt):
+    """Every op of one transaction lands on one group, whatever it touches."""
+    txn = f"c1/7/{attempt}"
+    router = ShardRouter(n)
+    op = ClientRequest(
+        rid=RequestId("c1", 1), kind=RequestKind.TXN_OP,
+        op=("put", key, 1), txn=txn, txn_seq=0,
+    )
+    commit = ClientRequest(
+        rid=RequestId("c1", 2), kind=RequestKind.TXN_COMMIT,
+        op=None, txn=txn, txn_seq=1,
+    )
+    assert router.group_for_request(op) == router.group_for_request(commit)
+    assert router.group_for_request(op) == router.group_for_key(str(txn))
+
+
+@given(key=keys)
+def test_single_group_is_identity(key):
+    assert ShardRouter(1).group_for_key(key) == 0
+
+
+def test_rejects_bad_group_counts():
+    with pytest.raises(ConfigError):
+        ShardRouter(0)
+    with pytest.raises(ConfigError):
+        ShardRouter(-3)
